@@ -1,0 +1,62 @@
+// Ablations of the DFT design choices called out in DESIGN.md:
+//   1. scan test without the 100 MHz toggling pattern (loses the
+//      dynamic-mismatch faults, e.g. single-device tgate opens);
+//   2. no BIST stage at all (loses the charge-pump faults the scan test
+//      provably masks);
+//   3. pessimistic both-leak-variants gate-open scoring.
+//
+// Runs the full universe by default (a few minutes); pass --fast for a
+// reduced smoke run.
+#include <cstdio>
+#include <cstring>
+
+#include "core/testable_link.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t cap = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) cap = 150;
+  }
+
+  std::printf("DFT design-choice ablations (structural fault campaign%s)\n\n",
+              cap ? ", reduced universe" : "");
+
+  lsl::core::TestableLink link;
+  lsl::util::Table table({"Configuration", "DC", "+scan", "+BIST (total)"});
+  table.set_title("Cumulative coverage under ablations");
+
+  auto run = [&](const char* label, lsl::dft::CampaignOptions opts) {
+    opts.max_faults = cap;
+    std::fprintf(stderr, "running: %s\n", label);
+    const auto r = link.run_fault_campaign(opts);
+    table.add_row({label, lsl::util::Table::pct(r.total.cum_dc.percent()),
+                   lsl::util::Table::pct(r.total.cum_scan.percent()),
+                   lsl::util::Table::pct(r.total.cum_all.percent())});
+  };
+
+  run("full DFT (baseline)", {});
+  {
+    lsl::dft::CampaignOptions o;
+    o.with_scan_toggle = false;
+    run("no 100 MHz toggle test", o);
+  }
+  {
+    lsl::dft::CampaignOptions o;
+    o.with_bist = false;
+    run("no BIST stage", o);
+  }
+  {
+    lsl::dft::CampaignOptions o;
+    o.pessimistic_gate_opens = true;
+    run("pessimistic gate opens", o);
+  }
+  table.print();
+
+  std::printf(
+      "\nReadings: dropping the toggle test strands the DC-invisible dynamic\n"
+      "faults; dropping the BIST strands the charge-pump faults that the\n"
+      "bias-collapse scan mode provably masks; the pessimistic gate-open\n"
+      "convention is the floor of the gate-open row in Table I.\n");
+  return 0;
+}

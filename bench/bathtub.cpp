@@ -1,0 +1,85 @@
+// BER vs sampling phase across the UI — the link-margin view behind the
+// paper's "sample at the center of the data eye" requirement. In this
+// channel the capacitive kick plus RC settling make the eye grow through
+// the UI, so mis-sampling early costs orders of magnitude of BER: the
+// synchronizer's phase acquisition is worth exactly this curve. Run with
+// elevated noise so the error floor is measurable in reasonable time.
+#include <cmath>
+#include <cstdio>
+
+#include "behav/channel.hpp"
+#include "util/prbs.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// BER at every sampling phase of the UI for one channel configuration.
+std::vector<double> bathtub(const lsl::behav::ChannelParams& params, std::size_t n_bits) {
+  lsl::behav::Channel ch(params, 99);
+  lsl::util::PrbsGenerator prbs(lsl::util::PrbsOrder::kPrbs15, 3);
+  const auto os = static_cast<std::size_t>(params.oversample);
+  std::vector<std::size_t> errors(os, 0);
+  const std::size_t warmup = 64;
+  for (std::size_t i = 0; i < n_bits + warmup; ++i) {
+    const bool b = prbs.next_bit();
+    ch.push_bit(b);
+    if (i < warmup) continue;
+    const auto& wave = ch.last_ui_waveform();
+    for (std::size_t k = 0; k < os; ++k) {
+      if ((wave[k] > 0.0) != b) ++errors[k];
+    }
+  }
+  std::vector<double> ber(os);
+  for (std::size_t k = 0; k < os; ++k) {
+    ber[k] = static_cast<double>(errors[k]) / static_cast<double>(n_bits);
+  }
+  return ber;
+}
+
+std::string ber_str(double ber, std::size_t n_bits) {
+  if (ber <= 0.0) return "< " + lsl::util::Table::num(std::log10(1.0 / n_bits), 1) + " (clean)";
+  return lsl::util::Table::num(std::log10(ber), 1);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBits = 200000;
+  std::printf("log10(BER) vs sampling phase (PRBS-15, %zu bits, 5 mV rms noise)\n\n",
+              kBits);
+
+  // Use equalizer settings where the eye partially closes within the UI
+  // (kick 0.8: ~69% open) so the bathtub has walls, and stress the noise
+  // so the floor is measurable in 2e5 bits.
+  lsl::behav::ChannelParams with_ffe;
+  with_ffe.ffe_kick = 0.8;
+  with_ffe.noise_rms = 5e-3;
+  lsl::behav::ChannelParams weak_ffe = with_ffe;
+  weak_ffe.ffe_kick = 0.6;
+
+  const auto strong = bathtub(with_ffe, kBits);
+  const auto weak = bathtub(weak_ffe, kBits);
+
+  lsl::util::Table table({"phase (UI)", "log10 BER, kick 0.8", "log10 BER, kick 0.6"});
+  table.set_title("BER vs sampling phase");
+  for (std::size_t k = 0; k < strong.size(); ++k) {
+    const double frac = static_cast<double>(k) / static_cast<double>(strong.size());
+    table.add_row({lsl::util::Table::num(frac, 3), ber_str(strong[k], kBits),
+                   ber_str(weak[k], kBits)});
+  }
+  table.print();
+
+  // Horizontal opening at BER <= 1e-3.
+  auto opening = [&](const std::vector<double>& ber) {
+    std::size_t open = 0;
+    for (const double b : ber) {
+      if (b <= 1e-3) ++open;
+    }
+    return 100.0 * static_cast<double>(open) / static_cast<double>(ber.size());
+  };
+  std::printf("\nPhases with BER <= 1e-3: kick 0.8 -> %.0f%% UI, kick 0.6 -> %.0f%% UI\n",
+              opening(strong), opening(weak));
+  std::printf("Sampling at the wrong phase costs ~2 decades of BER: this is the margin\n"
+              "the clock synchronizer buys.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Section III check: the receiver must lock within 2 us (5000 cycles at
+// 2.5 Gb/s) from ANY initial condition, with the number of coarse
+// corrections bounded by half the DLL phase count. Sweeps every initial
+// coarse phase x a grid of initial Vc levels.
+#include <cstdio>
+
+#include "core/testable_link.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("BIST lock-time budget: sweep of initial conditions\n");
+  std::printf("(paper: lock within 2 us = 5000 cycles; <= n_phases/2 coarse steps)\n\n");
+
+  lsl::core::TestableLink link;
+  lsl::util::RunningStats lock_times;
+  lsl::util::Histogram hist(0.0, 2.0, 10);  // us
+  int failures = 0;
+  int saturated = 0;
+  int max_coarse = 0;
+
+  lsl::util::Table table({"phase0", "vc0", "lock time (us)", "coarse steps", "residual err (ps)"});
+  for (std::size_t phase0 = 0; phase0 < 10; ++phase0) {
+    for (const double vc0 : {0.1, 0.45, 0.6, 0.75, 1.1}) {
+      const auto r = link.lock_transient(vc0, phase0, 8000, 17 + phase0);
+      if (!r.locked || r.lock_time > 2e-6) ++failures;
+      if (r.lock_counter_saturated) ++saturated;
+      max_coarse = std::max(max_coarse, r.coarse_corrections);
+      if (r.locked) {
+        lock_times.add(r.lock_time * 1e6);
+        hist.add(r.lock_time * 1e6);
+      }
+      table.add_row({std::to_string(phase0), lsl::util::Table::num(vc0, 2),
+                     r.locked ? lsl::util::Table::num(r.lock_time * 1e6, 3) : "NO LOCK",
+                     std::to_string(r.coarse_corrections),
+                     lsl::util::Table::num(r.final_phase_error * 1e12, 1)});
+    }
+  }
+  table.print();
+
+  std::printf("\nLock time: mean %.3f us, max %.3f us over %zu conditions\n", lock_times.mean(),
+              lock_times.max(), lock_times.count());
+  std::printf("Budget violations (> 2 us or no lock): %d\n", failures);
+  std::printf("Lock-detector saturations: %d\n", saturated);
+  std::printf("Max coarse corrections: %d (bound: n_phases/2 + reset hysteresis)\n", max_coarse);
+  std::printf("\nLock-time distribution (us):\n%s", hist.ascii(40).c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Transistor-level frequency response of the transmitter + interconnect
+// + termination, from AC analysis of the actual netlist — the paper's
+// Section II premise at structural level: the weak-driver path is
+// RC-limited to a few tens of MHz, and the series capacitors provide the
+// high-frequency feed-forward path that carries the 1.25 GHz fundamental
+// of 2.5 Gb/s data.
+//
+// The composite data->line transfer uses superposition over the three
+// drive paths: H(w) = H_main(w) - e^{-jwT} H_alpha(w) - H_drv(w)
+// (the alpha tap carries the one-UI-delayed inverted bit; the weak
+// driver inverts its input).
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "cells/link_frontend.hpp"
+#include "spice/ac.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Data -> line transfer function of the transistor-level frontend\n\n");
+
+  lsl::cells::LinkFrontend fe;
+  fe.set_data(false, false);
+  // AC characterization bias: park the weak-driver input mid-rail so the
+  // inverter is in its switching (high-gm) region — the standard bias
+  // point for small-signal analysis of a large-signal switching path.
+  {
+    auto& nl = fe.netlist();
+    for (const char* src : {"v_tx_drv_in_p", "v_tx_drv_in_n"}) {
+      const auto di = nl.find_device(src);
+      std::get<lsl::spice::VSource>(nl.device(*di).impl).volts = 0.6;
+    }
+  }
+  const auto freqs = lsl::spice::log_frequencies(1e6, 10e9, 25);
+  const std::vector<std::string> probes = {"line_p_rx"};
+
+  const auto h_main = lsl::spice::run_ac(fe.netlist(), fe.src_tap_main_p(), freqs, probes);
+  const auto h_alpha = lsl::spice::run_ac(fe.netlist(), "v_tx_tap_alpha_p", freqs, probes);
+  const auto h_drv = lsl::spice::run_ac(fe.netlist(), fe.src_drv_in_p(), freqs, probes);
+  if (!h_main.ok || !h_alpha.ok || !h_drv.ok) {
+    std::printf("AC analysis failed\n");
+    return 1;
+  }
+
+  const double kUi = 400e-12;
+  lsl::util::Table table(
+      {"freq", "|H| driver only (dB)", "|H| FFE caps only (dB)", "|H| composite (dB)"});
+  table.set_title("Frequency response at the receiver end of the line");
+
+  auto fmt_freq = [](double f) {
+    if (f >= 1e9) return lsl::util::Table::num(f / 1e9, 2) + " GHz";
+    return lsl::util::Table::num(f / 1e6, 1) + " MHz";
+  };
+  auto db = [](std::complex<double> h) {
+    return 20.0 * std::log10(std::max(std::abs(h), 1e-30));
+  };
+
+  double drv_at_dcish = 0.0;
+  double drv_at_nyquist = 0.0;
+  double comp_at_dcish = 0.0;
+  double comp_at_nyquist = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double w = 2.0 * M_PI * freqs[i];
+    const std::complex<double> delay = std::exp(std::complex<double>(0.0, -w * kUi));
+    const std::complex<double> main = h_main.probe("line_p_rx")[i];
+    const std::complex<double> alpha = h_alpha.probe("line_p_rx")[i];
+    const std::complex<double> drv = h_drv.probe("line_p_rx")[i];
+    const std::complex<double> caps = main - delay * alpha;
+    const std::complex<double> composite = caps - drv;  // drv path inverts
+
+    table.add_row({fmt_freq(freqs[i]), lsl::util::Table::num(db(-drv), 1),
+                   lsl::util::Table::num(db(caps), 1), lsl::util::Table::num(db(composite), 1)});
+    if (i == 0) {
+      drv_at_dcish = db(-drv);
+      comp_at_dcish = db(composite);
+    }
+    if (std::fabs(freqs[i] - 1.25e9) / 1.25e9 < 0.35) {
+      drv_at_nyquist = db(-drv);
+      comp_at_nyquist = db(composite);
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nDriver-only loss from low frequency to ~1.25 GHz: %.1f dB\n"
+      "Composite (with FFE caps) loss over the same span:  %.1f dB\n"
+      "The capacitive feed-forward path recovers %.1f dB at the data rate —\n"
+      "that is the equalization the paper's link depends on.\n",
+      drv_at_dcish - drv_at_nyquist, comp_at_dcish - comp_at_nyquist,
+      (drv_at_dcish - drv_at_nyquist) - (comp_at_dcish - comp_at_nyquist));
+  return 0;
+}

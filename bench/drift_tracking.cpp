@@ -1,0 +1,46 @@
+// Background-vs-foreground synchronization under environmental drift —
+// the motivating comparison of Section I: foreground calibration (the
+// paper's ref [4]) "cannot track environmental changes without breaking
+// normal operation", while the mixed coarse/fine background loop (ref
+// [8], the receiver this paper makes testable) follows the drift during
+// live traffic.
+//
+// Sweep the drift rate; report tracking error and eye violations for
+// both receiver styles.
+#include <cstdio>
+
+#include "behav/synchronizer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Background tracking vs one-shot foreground calibration under drift\n");
+  std::printf("(40 us of traffic; eye half-width 100 ps; 40 ps drift = one DLL step)\n\n");
+
+  lsl::util::Table table({"drift (ps/us)", "receiver", "max |err| (ps)", "UIs outside eye",
+                          "coarse handoffs"});
+  table.set_title("Tracking under environmental drift");
+
+  for (const double rate_ps_us : {0.0, 10.0, 20.0, 40.0, 80.0}) {
+    for (const bool frozen : {false, true}) {
+      lsl::behav::SyncParams p;
+      p.eye_drift_rate = rate_ps_us * 1e-12 / 1e-6;
+      p.freeze_after_lock = frozen;
+      lsl::behav::Synchronizer sync(p, 110e-12, 0.6, 0);
+      lsl::util::Pcg32 rng(5);
+      const auto r = sync.run(100000, rng);
+      table.add_row({lsl::util::Table::num(rate_ps_us, 0),
+                     frozen ? "foreground (frozen)" : "background (tracking)",
+                     lsl::util::Table::num(r.max_err_after_lock * 1e12, 1),
+                     std::to_string(r.ui_outside_eye_after_lock),
+                     std::to_string(r.coarse_corrections)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nThe background loop hands off DLL phases on the fly (coarse events\n"
+      "during traffic) and keeps the sampling instant inside the eye at every\n"
+      "drift rate; the frozen receiver accumulates out-of-eye UIs as soon as\n"
+      "the drift exceeds its residual margin.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Multi-lane production-test scheduling: the paper's DFT splits into
+// tester-serialized scan procedures and self-contained per-lane BIST,
+// and shares the divider across receivers. This bench shows what that
+// buys on a wide bus: per-lane phase absorption of routing skew, and
+// test time vs lane count under naive-sequential vs scan-serial +
+// BIST-concurrent scheduling.
+#include <cstdio>
+
+#include "link/multilane.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Multi-lane bus: skew absorption and production test time\n\n");
+
+  // A 16-lane bus with realistic per-lane routing skew.
+  {
+    lsl::link::MultiLaneParams p;
+    p.lanes = 16;
+    lsl::link::MultiLaneLink bus(p);
+    const auto report = bus.test_all(1000);
+
+    lsl::util::Table table({"lane", "locked phase", "BIST", "traffic errors"});
+    table.set_title("16-lane bus, 55 ps skew per lane");
+    for (const auto& lane : report.lanes) {
+      table.add_row({std::to_string(lane.lane), "phi" + std::to_string(lane.locked_phase),
+                     lane.bist.pass() ? "pass" : "FAIL", std::to_string(lane.traffic.errors)});
+    }
+    table.print();
+    std::printf("distinct coarse phases used: %zu (the per-lane synchronizers absorb the skew)\n\n",
+                report.distinct_phases);
+  }
+
+  // Test-time scaling.
+  {
+    lsl::util::Table table({"lanes", "sequential (us)", "scan-serial + BIST-concurrent (us)",
+                            "saving"});
+    table.set_title("Production test time vs lane count");
+    for (const std::size_t lanes : {1u, 4u, 8u, 16u, 32u}) {
+      lsl::link::MultiLaneParams p;
+      p.lanes = lanes;
+      lsl::link::MultiLaneLink bus(p);
+      const auto report = bus.test_all(50);
+      const double seq = report.test_time_sequential * 1e6;
+      const double sch = report.test_time_scheduled * 1e6;
+      table.add_row({std::to_string(lanes), lsl::util::Table::num(seq, 2),
+                     lsl::util::Table::num(sch, 2),
+                     lsl::util::Table::pct(100.0 * (seq - sch) / seq, 0)});
+    }
+    table.print();
+  }
+  std::printf("\nThe BIST being self-contained per receiver is what makes the wide-bus\n"
+              "test time flat in the BIST term — the low overhead of Table II, at scale.\n");
+  return 0;
+}

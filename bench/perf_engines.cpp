@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the simulation engines backing the
+// reproduction: MNA DC solves of the full analog frontend, transient
+// stepping, gate-level scan simulation, and the behavioral acquisition
+// loop. These bound the fault-campaign wall-clock.
+#include <benchmark/benchmark.h>
+
+#include "cells/link_frontend.hpp"
+#include "dft/digital_top.hpp"
+#include "spice/transient.hpp"
+#include "behav/synchronizer.hpp"
+#include "link/link.hpp"
+
+namespace {
+
+void BM_FrontendDcSolve(benchmark::State& state) {
+  lsl::cells::LinkFrontend fe;
+  fe.set_data(true, true);
+  for (auto _ : state) {
+    const auto r = fe.solve();
+    benchmark::DoNotOptimize(r.converged);
+  }
+}
+BENCHMARK(BM_FrontendDcSolve);
+
+void BM_FrontendDcSolveWarmStart(benchmark::State& state) {
+  lsl::cells::LinkFrontend fe;
+  fe.set_data(true, true);
+  lsl::spice::DcOptions opts;
+  const auto first = fe.solve();
+  opts.initial_guess = first.x;
+  for (auto _ : state) {
+    const auto r = fe.solve(opts);
+    benchmark::DoNotOptimize(r.converged);
+  }
+}
+BENCHMARK(BM_FrontendDcSolveWarmStart);
+
+void BM_TransientToggle2Cycles(benchmark::State& state) {
+  lsl::cells::LinkFrontend fe;
+  lsl::spice::TransientOptions opts;
+  opts.t_stop = 20e-9;
+  opts.dt = 0.2e-9;
+  opts.probes = {"line_p_rx"};
+  const auto wave = lsl::spice::square_wave(0.0, 1.2, 10e-9);
+  for (auto _ : state) {
+    const auto r = lsl::spice::run_transient(fe.netlist(), {{fe.src_tap_main_p(), wave}}, opts);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+BENCHMARK(BM_TransientToggle2Cycles);
+
+void BM_DigitalScanLoadReadChainB(benchmark::State& state) {
+  lsl::dft::DigitalTop top = lsl::dft::build_digital_top();
+  lsl::dft::ScanChains chains = lsl::dft::stitch_scan_chains(top);
+  top.c.power_on();
+  const auto pattern = std::vector<lsl::digital::Logic>(18, lsl::digital::Logic::k1);
+  for (auto _ : state) {
+    chains.b.load_flop_order(top.c, pattern);
+    benchmark::DoNotOptimize(chains.b.read_flop_order(top.c));
+  }
+}
+BENCHMARK(BM_DigitalScanLoadReadChainB);
+
+void BM_SynchronizerAcquisition5000Ui(benchmark::State& state) {
+  lsl::behav::SyncParams p;
+  for (auto _ : state) {
+    lsl::behav::Synchronizer sync(p, 180e-12, 0.6, 5);
+    lsl::util::Pcg32 rng(1);
+    benchmark::DoNotOptimize(sync.run(5000, rng));
+  }
+}
+BENCHMARK(BM_SynchronizerAcquisition5000Ui);
+
+void BM_LinkBist(benchmark::State& state) {
+  lsl::link::LinkParams p;
+  p.phase0 = 5;
+  lsl::link::Link link(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.run_bist(7));
+  }
+}
+BENCHMARK(BM_LinkBist);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// In-field BIST monitoring scenario: the link's analog parameters
+// degrade over life (bias drift, pump current loss, swing compression).
+// Sweep degradation levels and show where each BIST criterion starts
+// failing — the margin view a product engineer wants from the paper's
+// low-overhead BIST.
+//
+//   $ ./build/examples/bist_monitor
+//
+#include <cstdio>
+
+#include "link/link.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+const char* mark(bool ok) { return ok ? "ok" : "FAIL"; }
+
+lsl::link::BistVerdict bist_at(const lsl::link::LinkParams& params) {
+  lsl::link::LinkParams p = params;
+  p.phase0 = 5;  // the BIST preloads a far-off coarse phase
+  lsl::link::Link link(p);
+  return link.run_bist(77);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== BIST as an in-field health monitor ==\n\n");
+
+  // 1. Weak-pump current degradation (device aging).
+  {
+    lsl::util::Table t({"pump current (x nominal)", "lock<2us", "counter", "CP-BIST", "data"});
+    t.set_title("Charge-pump current degradation");
+    for (const double scale : {1.0, 0.6, 0.3, 0.15, 0.08, 0.04}) {
+      lsl::link::LinkParams p;
+      p.sync.pump.i_up *= scale;
+      p.sync.pump.i_dn *= scale;
+      const auto v = bist_at(p);
+      t.add_row({lsl::util::Table::num(scale, 2), mark(v.locked_in_budget),
+                 mark(v.lock_counter_ok), mark(v.cp_bist_ok), mark(v.data_ok)});
+    }
+    t.print();
+  }
+
+  // 2. Vc leakage (gate-oxide degradation on the loop cap / switches).
+  {
+    lsl::util::Table t({"leakage (uA)", "lock<2us", "counter", "CP-BIST", "data"});
+    t.set_title("Loop-filter leakage");
+    for (const double leak_ua : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      lsl::link::LinkParams p;
+      p.sync.pump.leak = leak_ua * 1e-6;
+      const auto v = bist_at(p);
+      t.add_row({lsl::util::Table::num(leak_ua, 1), mark(v.locked_in_budget),
+                 mark(v.lock_counter_ok), mark(v.cp_bist_ok), mark(v.data_ok)});
+    }
+    t.print();
+  }
+
+  // 3. Swing compression (driver aging / supply droop at the TX).
+  {
+    lsl::util::Table t({"swing (x nominal)", "lock<2us", "counter", "CP-BIST", "data"});
+    t.set_title("Transmit swing compression");
+    for (const double scale : {1.0, 0.7, 0.5, 0.35, 0.25, 0.15}) {
+      lsl::link::LinkParams p;
+      p.channel.drive_scale_p = scale;
+      p.channel.drive_scale_n = scale;
+      p.slicer_offset = 0.012;  // a realistic residual slicer offset
+      const auto v = bist_at(p);
+      t.add_row({lsl::util::Table::num(scale, 2), mark(v.locked_in_budget),
+                 mark(v.lock_counter_ok), mark(v.cp_bist_ok), mark(v.data_ok)});
+    }
+    t.print();
+  }
+
+  // 4. Charge-balance drift (the fault class the CP-BIST window exists for).
+  {
+    lsl::util::Table t({"Vp offset (mV)", "lock<2us", "counter", "CP-BIST", "data"});
+    t.set_title("Charge-balance (Vp) offset");
+    for (const double off_mv : {0.0, 60.0, 120.0, 180.0, 300.0}) {
+      lsl::link::LinkParams p;
+      p.sync.pump.vp_offset = off_mv * 1e-3;
+      const auto v = bist_at(p);
+      t.add_row({lsl::util::Table::num(off_mv, 0), mark(v.locked_in_budget),
+                 mark(v.lock_counter_ok), mark(v.cp_bist_ok), mark(v.data_ok)});
+    }
+    t.print();
+  }
+
+  std::printf(
+      "\nReading: the 150 mV CP-BIST window trips before the loop functionally\n"
+      "fails, and the lock detector flags acquisition pathologies — together\n"
+      "they give early warning well before user-visible data errors.\n");
+  return 0;
+}

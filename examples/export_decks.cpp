@@ -1,0 +1,46 @@
+// Exports the golden analog frontend and a faulted copy as SPICE decks,
+// so any external simulator can cross-check this library's netlists —
+// and so a faulted circuit is reviewable as a text diff.
+//
+//   $ ./build/examples/export_decks [outdir]
+//
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cells/link_frontend.hpp"
+#include "fault/structural.hpp"
+#include "spice/export.hpp"
+
+int main(int argc, char** argv) {
+  const std::string outdir = argc > 1 ? argv[1] : ".";
+
+  lsl::cells::LinkFrontend golden;
+  lsl::spice::ExportOptions opts;
+  opts.title = "lsl link frontend (golden)";
+  const std::string golden_deck = lsl::spice::export_spice(golden.netlist(), opts);
+
+  lsl::cells::LinkFrontend faulty = golden;
+  const lsl::fault::StructuralFault fault{"cp.m_swup", lsl::fault::FaultClass::kDrainSourceShort};
+  lsl::fault::inject(faulty.netlist(), fault, lsl::fault::OpenLeak::kToGround,
+                     *faulty.netlist().find_node("vdd"));
+  opts.title = "lsl link frontend (" + fault.describe() + ")";
+  const std::string faulty_deck = lsl::spice::export_spice(faulty.netlist(), opts);
+
+  const std::string golden_path = outdir + "/frontend_golden.sp";
+  const std::string faulty_path = outdir + "/frontend_faulted.sp";
+  std::ofstream(golden_path) << golden_deck;
+  std::ofstream(faulty_path) << faulty_deck;
+
+  std::printf("wrote %s (%zu bytes) and %s (%zu bytes)\n", golden_path.c_str(),
+              golden_deck.size(), faulty_path.c_str(), faulty_deck.size());
+  std::printf("\nfirst lines of the faulted deck:\n");
+  std::size_t shown = 0;
+  for (std::size_t pos = 0; pos < faulty_deck.size() && shown < 8; ++shown) {
+    const std::size_t nl = faulty_deck.find('\n', pos);
+    std::printf("  %s\n", faulty_deck.substr(pos, nl - pos).c_str());
+    pos = nl + 1;
+  }
+  std::printf("  ...\ndiff the two decks to see exactly what the fault edit did.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "behav/pump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsl::behav {
+
+ChargePump::ChargePump(const PumpParams& p, double vc0) : p_(p), vc_(vc0), vp_(vc0 + p.vp_offset) {}
+
+void ChargePump::set_vc(double v) {
+  vc_ = v;
+  clamp();
+  vp_ = vc_ + p_.vp_offset;
+}
+
+void ChargePump::clamp() { vc_ = std::clamp(vc_, 0.0, p_.v_rail); }
+
+void ChargePump::update_vp(double dt) {
+  if (p_.balance_broken) {
+    vp_ += p_.vp_drift * dt;
+    vp_ = std::clamp(vp_, 0.0, p_.v_rail);
+  } else {
+    vp_ = std::clamp(vc_ + p_.vp_offset, 0.0, p_.v_rail);
+  }
+}
+
+void ChargePump::pump(bool up, bool dn, double dt, double noise) {
+  const double t_on = std::min(p_.pulse_width, dt);
+  double dq = 0.0;
+  if (up) dq += p_.i_up * t_on;
+  if (dn) dq -= p_.i_dn * t_on;
+  // Charge sharing: steering a pulse slews the parked source node across
+  // the balance imbalance, injecting a data-dependent glitch charge.
+  if (up || dn) dq += p_.glitch_cap * (vp_ - vc_) * noise;
+  dq += p_.leak * dt;
+  vc_ += dq / p_.c_loop;
+  clamp();
+  update_vp(dt);
+}
+
+void ChargePump::strong(bool up, bool dn, double dt) {
+  double dq = 0.0;
+  if (up) dq += p_.i_up * p_.strong_ratio * dt;
+  if (dn) dq -= p_.i_dn * p_.strong_ratio * dt;
+  vc_ += dq / p_.c_loop;
+  clamp();
+  update_vp(dt);
+}
+
+}  // namespace lsl::behav

@@ -1,0 +1,67 @@
+// Behavioral charge pumps and loop filter.
+//
+// The weak pump integrates bang-bang phase-detector decisions onto the
+// loop capacitor; the strong pump slews Vc back inside the window after
+// a coarse correction. The charge-balancing node Vp nominally tracks Vc;
+// balance-path faults appear as a Vp offset or drift, which is exactly
+// what the CP-BIST window comparator (Fig 9) watches.
+//
+// Every parameter is a fault hook: the analog fault characterization
+// maps a structurally faulted SPICE-level pump onto scaled currents,
+// leakage, or a Vp offset.
+#pragma once
+
+namespace lsl::behav {
+
+struct PumpParams {
+  double c_loop = 1.0e-12;     // loop filter capacitance (F)
+  double i_up = 8e-6;          // weak pump source current (A)
+  double i_dn = 8e-6;          // weak pump sink current (A)
+  double strong_ratio = 4.0;   // strong pump current multiplier
+  double pulse_width = 200e-12;  // pump-on time per PD decision (s)
+  double v_rail = 1.2;
+  double leak = 0.0;           // parasitic leakage current on Vc (A, +up)
+  // Balance path: vp = vc + vp_offset, drifting at vp_drift when the
+  // balancing amplifier or steering branch is broken.
+  double vp_offset = 0.0;
+  double vp_drift = 0.0;       // V/s
+  bool balance_broken = false;
+  /// Charge-sharing parasitic at the steering nodes. When the balance
+  /// node departs from Vc, every pump pulse must slew the parked source
+  /// node across |Vp - Vc|, injecting a glitch charge of roughly
+  /// glitch_cap * (Vp - Vc) with data-dependent sign — the paper's
+  /// "increased jitter in the recovered clock" from a failing balance
+  /// path. With Vp tracking Vc (healthy), the glitch vanishes.
+  double glitch_cap = 25e-15;
+};
+
+/// Integrating pump + loop filter state.
+class ChargePump {
+ public:
+  explicit ChargePump(const PumpParams& p = {}, double vc0 = 0.6);
+
+  double vc() const { return vc_; }
+  double vp() const { return vp_; }
+  void set_vc(double v);
+
+  /// One PD decision interval: applies up/dn for pulse_width, leakage for
+  /// the whole dt, then updates the balance node. `noise` is a
+  /// unit-variance sample modulating the delivered charge in proportion
+  /// to the balance-node imbalance (see imbalance_noise_gain).
+  void pump(bool up, bool dn, double dt, double noise = 0.0);
+
+  /// Strong pump slew for dt (up = charge, dn = discharge).
+  void strong(bool up, bool dn, double dt);
+
+  const PumpParams& params() const { return p_; }
+
+ private:
+  void clamp();
+  void update_vp(double dt);
+
+  PumpParams p_;
+  double vc_;
+  double vp_;
+};
+
+}  // namespace lsl::behav

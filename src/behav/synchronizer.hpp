@@ -1,0 +1,129 @@
+// Behavioral model of the clock-synchronizing receiver (Fig 1):
+//
+//   coarse loop:  window comparator on Vc -> control FSM -> one-hot ring
+//                 counter -> switch matrix picks one of the DLL phases;
+//                 the strong charge pump resets Vc across the window on
+//                 every coarse step.
+//   fine loop:    Alexander PD on data transitions -> weak charge pump
+//                 -> Vc -> VCDL delay of the sampling clock.
+//
+// The simulation runs at UI granularity in the timing domain: the state
+// is (Vc, coarse phase index), the sampling instant is
+// phase_offset(k) + vcdl(Vc), and the loop converges when the sampling
+// instant lands on the data-eye center. The recorded trace is exactly
+// the paper's Fig 2 (Vc and chosen DLL phase vs time).
+//
+// Fault hooks live in the component parameter structs (PumpParams,
+// VcdlParams) plus SyncFaults below; the analog characterization maps
+// structural faults onto them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "behav/pump.hpp"
+#include "behav/vcdl.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::behav {
+
+/// Fault hooks that do not belong to a single component model.
+struct SyncFaults {
+  bool pd_up_stuck = false;        // PD asserts UP regardless of timing
+  bool pd_dn_stuck = false;
+  bool pd_dead = false;            // PD never fires
+  bool window_hi_stuck = false;    // window comparator outputs stuck
+  bool window_lo_stuck = false;
+  bool window_dead = false;        // never requests coarse correction
+  bool counter_stuck = false;      // ring counter never advances
+  bool switch_matrix_dead = false; // no phase selected: no sampling clock
+};
+
+struct SyncParams {
+  DllParams dll;
+  VcdlParams vcdl;
+  PumpParams pump;
+  double vh = 0.8;              // window comparator thresholds
+  double vl = 0.4;
+  double activity = 0.5;        // data transition density (PRBS ~ 0.5)
+  double jitter_rms = 4e-12;    // PD timing noise (s)
+  std::size_t divider = 8;      // coarse loop clock divide ratio
+  /// Strong-pump reset depth: after a coarse step the strong pump drives
+  /// Vc this far into the window (fraction from the opposite threshold).
+  double reset_depth = 0.15;
+  /// Lock declaration: |phase error| below this fraction of a DLL phase
+  /// step for `lock_run_ui` consecutive UIs with Vc inside the window.
+  double lock_err_frac = 0.6;
+  std::size_t lock_run_ui = 200;
+  std::size_t lock_counter_bits = 3;  // BIST lock-detector width
+  double cp_bist_window = 0.15;       // |Vp - Vc| limit (Fig 9)
+  /// Environmental drift of the data-eye position (s of delay per s of
+  /// time): temperature/voltage ramps move the link latency. The
+  /// background loop must track this during normal operation — the
+  /// paper's argument against foreground calibration.
+  double eye_drift_rate = 0.0;
+  /// Foreground-calibration model: once lock is first achieved, freeze
+  /// both loops (one-shot calibration). With drift, the frozen receiver
+  /// walks out of the eye.
+  bool freeze_after_lock = false;
+  /// Half-width of the open data eye in time (s): sampling farther than
+  /// this from the eye center risks bit errors (drift bookkeeping).
+  double eye_half_width = 100e-12;
+  SyncFaults faults;
+};
+
+struct SyncTracePoint {
+  double t = 0.0;
+  double vc = 0.0;
+  std::size_t phase = 0;
+  bool coarse_event = false;
+};
+
+struct SyncResult {
+  bool locked = false;
+  double lock_time = 0.0;            // s from start
+  std::size_t final_phase = 0;
+  double final_vc = 0.0;
+  double final_phase_error = 0.0;    // s, sampling instant vs eye center
+  int coarse_corrections = 0;
+  int lock_counter = 0;              // saturating BIST counter value
+  bool lock_counter_saturated = false;
+  bool cp_bist_flag = false;         // CP-BIST comparator tripped at end
+  /// Largest |phase error| observed after the first lock (tracking
+  /// quality under drift; 0 if lock never happened).
+  double max_err_after_lock = 0.0;
+  /// UIs spent with |phase error| beyond half the (healthy) eye width
+  /// after first lock — each is a potential bit error under drift.
+  std::size_t ui_outside_eye_after_lock = 0;
+  /// Recovered sampling-clock jitter after lock: rms and peak-to-peak of
+  /// the sampling instant about its post-lock mean (s).
+  double jitter_rms = 0.0;
+  double jitter_pp = 0.0;
+  std::vector<SyncTracePoint> trace;
+};
+
+class Synchronizer {
+ public:
+  /// `eye_center` is the absolute offset of the data-eye center within
+  /// the receiver clock period (the unknown link latency modulo T).
+  Synchronizer(const SyncParams& p, double eye_center, double vc0, std::size_t phase0 = 0);
+
+  /// Runs up to `max_ui` unit intervals. Stops early only on the
+  /// switch-matrix-dead fault (no clock, nothing can change).
+  SyncResult run(std::size_t max_ui, util::Pcg32& rng, bool record_trace = false);
+
+  /// Current sampling offset within the clock period for state (k, vc).
+  double sampling_offset(std::size_t k, double vc) const;
+
+ private:
+  double wrap_err(double err) const;
+
+  SyncParams p_;
+  Dll dll_;
+  Vcdl vcdl_;
+  double eye_center_;
+  double vc0_;
+  std::size_t phase0_;
+};
+
+}  // namespace lsl::behav

@@ -1,0 +1,22 @@
+#include "behav/vcdl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsl::behav {
+
+double Vcdl::delay(double vc) const {
+  const double v = std::max(vc, 0.0);
+  return p_.delay_min + p_.extra_delay + p_.gain * p_.gain_scale * v;
+}
+
+double Vcdl::range(double v_lo, double v_hi) const {
+  return delay(v_hi) - delay(v_lo);
+}
+
+double Dll::phase_offset(std::size_t k) const {
+  if (k >= p_.n_phases) throw std::out_of_range("DLL phase index");
+  return static_cast<double>(k) * phase_step();
+}
+
+}  // namespace lsl::behav

@@ -1,0 +1,54 @@
+// Behavioral voltage-controlled delay line and DLL phase generator.
+//
+// The receiver of the paper generates ten DLL phases of the receiver
+// clock; the switch matrix picks one and the VCDL adds a fine,
+// continuous delay controlled by Vc. The VCDL tuning range exceeds one
+// DLL phase step over the window-comparator span [VL, VH], so the fine
+// loop can always bridge between adjacent coarse phases.
+#pragma once
+
+#include <cstddef>
+
+namespace lsl::behav {
+
+struct VcdlParams {
+  double delay_min = 20e-12;   // delay at vc = 0 (s)
+  double gain = 150e-12;       // delay slope (s/V)
+  /// Fault hooks: a faulted VCDL shows up as gain loss or a stuck delay.
+  double gain_scale = 1.0;
+  double extra_delay = 0.0;
+};
+
+/// Maps the control voltage to delay. Clamps below vc = 0.
+class Vcdl {
+ public:
+  explicit Vcdl(const VcdlParams& p = {}) : p_(p) {}
+  double delay(double vc) const;
+  const VcdlParams& params() const { return p_; }
+  /// Tuning range over a control span (for the range > phase-step check).
+  double range(double v_lo, double v_hi) const;
+
+ private:
+  VcdlParams p_;
+};
+
+struct DllParams {
+  std::size_t n_phases = 10;
+  double clock_period = 400e-12;  // 2.5 Gb/s receiver clock
+};
+
+/// Evenly spaced DLL phases of the receiver clock.
+class Dll {
+ public:
+  explicit Dll(const DllParams& p = {}) : p_(p) {}
+  std::size_t n_phases() const { return p_.n_phases; }
+  double phase_step() const { return p_.clock_period / static_cast<double>(p_.n_phases); }
+  /// Offset of phase k from the receiver clock edge.
+  double phase_offset(std::size_t k) const;
+  double clock_period() const { return p_.clock_period; }
+
+ private:
+  DllParams p_;
+};
+
+}  // namespace lsl::behav

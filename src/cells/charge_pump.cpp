@@ -1,0 +1,127 @@
+#include "cells/charge_pump.hpp"
+
+namespace lsl::cells {
+
+using spice::Capacitor;
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+
+namespace {
+
+/// Transmission gate between a and b: on when `en_n` (NMOS gate) is high
+/// and `en_p` (PMOS gate) is low.
+void add_tgate(Netlist& nl, const std::string& prefix, NodeId a, NodeId b, NodeId en_n,
+               NodeId en_p, double w, double l) {
+  nl.add(prefix + ".m_tn", Mosfet{a, en_n, b, MosType::kNmos, w, l, 0.0});
+  nl.add(prefix + ".m_tp", Mosfet{a, en_p, b, MosType::kPmos, 2.0 * w, l, 0.0});
+}
+
+}  // namespace
+
+ChargePumpPorts build_charge_pump(Netlist& nl, const std::string& prefix, NodeId vdd,
+                                  const ChargePumpControls& ctl, const ChargePumpSpec& spec) {
+  ChargePumpPorts p;
+  p.vc = nl.node(prefix + ".vc");
+  p.vp = nl.node(prefix + ".vp");
+  nl.add(prefix + ".c_vc", Capacitor{p.vc, kGround, spec.c_vc});
+  nl.add(prefix + ".c_vp", Capacitor{p.vp, kGround, spec.c_vp});
+
+  // --- bias generators with scan-mode collapse -------------------------
+  // Generators produce vbp_gen / vbn_gen; series switches (on in normal
+  // mode) connect them to the pump gates vbp / vbn; pull switches (on in
+  // scan mode) drag the gates to the rails, making the sources plain
+  // switches.
+  p.vbp = nl.node(prefix + ".vbp");
+  p.vbn = nl.node(prefix + ".vbn");
+  const NodeId vbp_gen = nl.node(prefix + ".vbp_gen");
+  const NodeId vbn_gen = nl.node(prefix + ".vbn_gen");
+  nl.add(prefix + ".m_bpd", Mosfet{vbp_gen, vbp_gen, vdd, MosType::kPmos, 0.5e-6, spec.l, 0.0});
+  nl.add(prefix + ".r_bp", Resistor{vbp_gen, kGround, spec.r_bias_p});
+  nl.add(prefix + ".r_bn", Resistor{vdd, vbn_gen, spec.r_bias_n});
+  nl.add(prefix + ".m_bnd", Mosfet{vbn_gen, vbn_gen, kGround, MosType::kNmos, 1.0e-6, spec.l, 0.0});
+  // Series connect switches (normal mode): PMOS for vbp (gate = sen),
+  // NMOS for vbn (gate = sen_b).
+  nl.add(prefix + ".m_serp",
+         Mosfet{p.vbp, ctl.sen, vbp_gen, MosType::kPmos, spec.w_scan_sw, spec.l, 0.0});
+  nl.add(prefix + ".m_sern",
+         Mosfet{p.vbn, ctl.sen_b, vbn_gen, MosType::kNmos, spec.w_scan_sw, spec.l, 0.0});
+  // Pull switches (scan mode): vbp -> GND, vbn -> VDD.
+  nl.add(prefix + ".m_pullp",
+         Mosfet{p.vbp, ctl.sen, kGround, MosType::kNmos, spec.w_scan_sw, spec.l, 0.0});
+  nl.add(prefix + ".m_pulln",
+         Mosfet{p.vbn, ctl.sen_b, vdd, MosType::kPmos, spec.w_scan_sw, spec.l, 0.0});
+
+  // --- weak (fine) charge pump with current steering -------------------
+  const NodeId np = nl.node(prefix + ".np");
+  const NodeId nn = nl.node(prefix + ".nn");
+  nl.add(prefix + ".m_srcp", Mosfet{np, p.vbp, vdd, MosType::kPmos, spec.w_src, spec.l, 0.0});
+  nl.add(prefix + ".m_srcn", Mosfet{nn, p.vbn, kGround, MosType::kNmos, spec.w_src, spec.l, 0.0});
+  nl.add(prefix + ".m_swup", Mosfet{p.vc, ctl.up_gate, np, MosType::kPmos, spec.w_sw, spec.l, 0.0});
+  nl.add(prefix + ".m_swdn", Mosfet{p.vc, ctl.dn_gate, nn, MosType::kNmos, spec.w_sw, spec.l, 0.0});
+  // Steering branch into the balance node keeps the sources conducting
+  // when the main switches are off.
+  nl.add(prefix + ".m_swupb",
+         Mosfet{p.vp, ctl.up_b_gate, np, MosType::kPmos, spec.w_sw, spec.l, 0.0});
+  nl.add(prefix + ".m_swdnb",
+         Mosfet{p.vp, ctl.dn_b_gate, nn, MosType::kNmos, spec.w_sw, spec.l, 0.0});
+
+  // --- charge-balancing amplifier (5T OTA, unity feedback on vp) ------
+  const NodeId a1 = nl.node(prefix + ".a1");
+  const NodeId atail = nl.node(prefix + ".atail");
+  nl.add(prefix + ".m_a_inp", Mosfet{a1, p.vc, atail, MosType::kNmos, 1.0e-6, spec.l, 0.0});
+  nl.add(prefix + ".m_a_inn", Mosfet{p.vp, p.vp, atail, MosType::kNmos, 1.0e-6, spec.l, 0.0});
+  nl.add(prefix + ".m_a_ld1", Mosfet{a1, a1, vdd, MosType::kPmos, 1.0e-6, spec.l, 0.0});
+  nl.add(prefix + ".m_a_ld2", Mosfet{p.vp, a1, vdd, MosType::kPmos, 1.0e-6, spec.l, 0.0});
+  nl.add(prefix + ".m_a_tail",
+         Mosfet{atail, p.vbn, kGround, MosType::kNmos, 1.0e-6, spec.l, 0.0});
+
+  // --- strong (coarse) charge pump -------------------------------------
+  const double ws = spec.w_src * spec.strong_ratio;
+  const double wsw = spec.w_sw * spec.strong_ratio;
+  const NodeId nps = nl.node(prefix + ".nps");
+  const NodeId nns = nl.node(prefix + ".nns");
+  nl.add(prefix + ".m_stsrcp", Mosfet{nps, p.vbp, vdd, MosType::kPmos, ws, spec.l, 0.0});
+  nl.add(prefix + ".m_stsrcn", Mosfet{nns, p.vbn, kGround, MosType::kNmos, ws, spec.l, 0.0});
+  nl.add(prefix + ".m_swupst",
+         Mosfet{p.vc, ctl.upst_gate, nps, MosType::kPmos, wsw, spec.l, 0.0});
+  nl.add(prefix + ".m_swdnst",
+         Mosfet{p.vc, ctl.dnst_gate, nns, MosType::kNmos, wsw, spec.l, 0.0});
+
+  // --- VH / VL reference ladder ----------------------------------------
+  p.vh = nl.node(prefix + ".vh");
+  p.vl = nl.node(prefix + ".vl");
+  p.vmid = nl.node(prefix + ".vmid");
+  nl.add(prefix + ".r_top", Resistor{vdd, p.vh, spec.r_top});
+  nl.add(prefix + ".r_mid1", Resistor{p.vh, p.vmid, spec.r_mid / 2.0});
+  nl.add(prefix + ".r_mid2", Resistor{p.vmid, p.vl, spec.r_mid / 2.0});
+  nl.add(prefix + ".r_bot", Resistor{p.vl, kGround, spec.r_bot});
+
+  // --- window comparator on Vc with scan input mux ----------------------
+  // cmp_in = vc in normal mode, vmid in scan mode (forces output "00").
+  const NodeId cmp_in = nl.node(prefix + ".cmp_in");
+  add_tgate(nl, prefix + ".sw_vc", p.vc, cmp_in, ctl.sen_b, ctl.sen, 1.0e-6, spec.l);
+  add_tgate(nl, prefix + ".sw_md", p.vmid, cmp_in, ctl.sen, ctl.sen_b, 1.0e-6, spec.l);
+
+  ComparatorSpec wc = spec.window_cmp;
+  wc.w_offset = wc.w_input;  // symmetric: thresholds come from VH/VL
+  const NodeId vbn_cmp = build_nbias(nl, prefix + ".cbias", vdd);
+  const ComparatorPorts hi =
+      build_offset_comparator(nl, prefix + ".cmp_hi", vdd, vbn_cmp, cmp_in, p.vh, wc);
+  const ComparatorPorts lo =
+      build_offset_comparator(nl, prefix + ".cmp_lo", vdd, vbn_cmp, p.vl, cmp_in, wc);
+  p.cmp_hi = hi.out;
+  p.cmp_lo = lo.out;
+
+  // --- CP-BIST window comparator on |Vp - Vc| (Fig 9) -------------------
+  const WindowComparatorPorts bist =
+      build_window_comparator(nl, prefix + ".bist", vdd, vbn_cmp, p.vp, p.vc, spec.bist_cmp);
+  p.bist_hi = bist.out_hi;
+  p.bist_lo = bist.out_lo;
+  return p;
+}
+
+}  // namespace lsl::cells

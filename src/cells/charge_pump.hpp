@@ -1,0 +1,83 @@
+// Fig 8: the coarse/fine charge-pump block of the clock synchronizer.
+//
+// Contents:
+//  - weak (fine-loop) charge pump: PMOS source / NMOS sink behind UP/DN
+//    switches, with a current-steering second branch into the
+//    charge-balancing node Vp and a 5-transistor unity amplifier forcing
+//    Vp ~= Vc (keeps the current sources in saturation between pulses);
+//  - strong (coarse-loop) charge pump on UPst/DNst that slews Vc back
+//    inside the window on a coarse correction;
+//  - VH/VL reference ladder and the window comparator watching Vc, with
+//    the scan-mode input switches that force the comparator input to the
+//    middle of the thresholds ("00" output) during shift;
+//  - scan-mode bias collapse: series switches disconnect the bias
+//    generators while pull switches drag the PMOS-source gate to GND and
+//    the NMOS-sink gate to VDD, turning the pump into the combinational
+//    element the paper's scan test drives;
+//  - the CP-BIST window comparator (Fig 9) checking |Vp - Vc| < ~150 mV
+//    once the loop is locked.
+#pragma once
+
+#include <string>
+
+#include "cells/comparator.hpp"
+#include "spice/netlist.hpp"
+
+namespace lsl::cells {
+
+struct ChargePumpSpec {
+  double w_src = 1.0e-6;      // weak pump current source/sink width
+  double w_sw = 1.0e-6;       // weak pump switches
+  double strong_ratio = 4.0;  // strong pump device multiplier
+  double l = 0.5e-6;
+  double c_vc = 1.0e-12;      // loop-filter capacitor on Vc
+  double c_vp = 0.5e-12;      // balance capacitor on Vp
+  double r_bias_p = 180e3;    // vbp generator: the PMOS source runs
+                              // ~20% hotter than the NMOS sink, so the
+                              // balance node is amplifier-dominated —
+                              // if the amp dies, Vp drifts to a rail
+                              // (the CP-BIST failure signature) instead
+                              // of the steering branches coincidentally
+                              // balancing it mid-rail
+  double r_bias_n = 130e3;    // vbn generator
+  double w_scan_sw = 2.0e-6;  // scan collapse/pull switches
+  // Reference ladder: vdd - r_top - VH - r_mid - VL - r_bot - gnd, with
+  // the comparator scan input tapped at the middle of r_mid.
+  double r_top = 10e3;
+  double r_mid = 10e3;
+  double r_bot = 10e3;
+  ComparatorSpec window_cmp;         // Vc window comparator (no offset)
+  ComparatorSpec bist_cmp = cp_bist_spec();  // Fig-9 CP-BIST comparator
+};
+
+/// Control inputs the harness drives as rail-level VSources.
+struct ChargePumpControls {
+  spice::NodeId up_gate = spice::kGround;    // weak UP switch, PMOS, active low
+  spice::NodeId up_b_gate = spice::kGround;  // steering complement (active low)
+  spice::NodeId dn_gate = spice::kGround;    // weak DN switch, NMOS, active high
+  spice::NodeId dn_b_gate = spice::kGround;  // steering complement (active high)
+  spice::NodeId upst_gate = spice::kGround;  // strong UP switch, PMOS, active low
+  spice::NodeId dnst_gate = spice::kGround;  // strong DN switch, NMOS, active high
+  spice::NodeId sen = spice::kGround;        // scan enable (1 = scan mode)
+  spice::NodeId sen_b = spice::kGround;      // its complement
+};
+
+struct ChargePumpPorts {
+  spice::NodeId vc = spice::kGround;   // fine control voltage (loop filter)
+  spice::NodeId vp = spice::kGround;   // charge-balancing node
+  spice::NodeId vbp = spice::kGround;  // PMOS source bias (post-collapse node)
+  spice::NodeId vbn = spice::kGround;  // NMOS sink bias
+  spice::NodeId vh = spice::kGround;   // window upper threshold
+  spice::NodeId vl = spice::kGround;   // window lower threshold
+  spice::NodeId vmid = spice::kGround; // middle of the thresholds (scan ref)
+  spice::NodeId cmp_hi = spice::kGround;  // Vc window comparator outputs
+  spice::NodeId cmp_lo = spice::kGround;
+  spice::NodeId bist_hi = spice::kGround;  // CP-BIST comparator outputs
+  spice::NodeId bist_lo = spice::kGround;
+};
+
+ChargePumpPorts build_charge_pump(spice::Netlist& nl, const std::string& prefix,
+                                  spice::NodeId vdd, const ChargePumpControls& ctl,
+                                  const ChargePumpSpec& spec = {});
+
+}  // namespace lsl::cells

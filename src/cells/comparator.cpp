@@ -1,0 +1,89 @@
+#include "cells/comparator.hpp"
+
+namespace lsl::cells {
+
+using spice::Capacitor;
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+
+ComparatorPorts build_offset_comparator(Netlist& nl, const std::string& prefix, NodeId vdd,
+                                        NodeId vbn, NodeId in_p, NodeId in_n,
+                                        const ComparatorSpec& spec) {
+  ComparatorPorts p;
+  p.in_p = in_p;
+  p.in_n = in_n;
+
+  const NodeId tail = nl.node(prefix + ".tail");
+  const NodeId n1 = nl.node(prefix + ".n1");  // mirror (diode) side
+  const NodeId n2 = nl.node(prefix + ".n2");  // output side
+  p.out_pre = n2;
+  p.out = nl.node(prefix + ".out");
+
+  // Input pair: in- pulls the diode (mirror reference) side, in+ pulls
+  // the output side, so raising in+ drags n2 low and the inverter output
+  // trips HIGH. With the wide device on in-, the mirrored reference
+  // current exceeds the in+ current at equal drive, holding n2 high:
+  // in+ must exceed in- by the programmed offset before the output trips.
+  const double w_p_side = spec.offset_on_minus ? spec.w_input : spec.w_offset;
+  const double w_n_side = spec.offset_on_minus ? spec.w_offset : spec.w_input;
+  nl.add(prefix + ".m_inp", Mosfet{n2, in_p, tail, MosType::kNmos, w_p_side, spec.l, 0.0});
+  nl.add(prefix + ".m_inn", Mosfet{n1, in_n, tail, MosType::kNmos, w_n_side, spec.l, 0.0});
+
+  // PMOS current-mirror load.
+  nl.add(prefix + ".m_ld1", Mosfet{n1, n1, vdd, MosType::kPmos, spec.w_load, spec.l, 0.0});
+  nl.add(prefix + ".m_ld2", Mosfet{n2, n1, vdd, MosType::kPmos, spec.w_load, spec.l, 0.0});
+
+  // Tail current source.
+  nl.add(prefix + ".m_tail", Mosfet{tail, vbn, kGround, MosType::kNmos, spec.w_tail, spec.l, 0.0});
+
+  // Output inverter restores rail-to-rail levels.
+  nl.add(prefix + ".m_invp", Mosfet{p.out, n2, vdd, MosType::kPmos, spec.w_inv_p, spec.l, 0.0});
+  nl.add(prefix + ".m_invn", Mosfet{p.out, n2, kGround, MosType::kNmos, spec.w_inv_n, spec.l, 0.0});
+  return p;
+}
+
+WindowComparatorPorts build_window_comparator(Netlist& nl, const std::string& prefix, NodeId vdd,
+                                              NodeId vbn, NodeId in_p, NodeId in_n,
+                                              const ComparatorSpec& spec) {
+  WindowComparatorPorts w;
+  w.in_p = in_p;
+  w.in_n = in_n;
+
+  // Upper comparator: trips when in_p exceeds in_n by +offset.
+  ComparatorSpec hi = spec;
+  hi.offset_on_minus = true;
+  const ComparatorPorts chi = build_offset_comparator(nl, prefix + ".hi", vdd, vbn, in_p, in_n, hi);
+  w.out_hi = chi.out;
+
+  // Lower comparator: inputs swapped, trips when in_n exceeds in_p by
+  // +offset, i.e. (in_p - in_n) < -offset.
+  ComparatorSpec lo = spec;
+  lo.offset_on_minus = true;
+  const ComparatorPorts clo = build_offset_comparator(nl, prefix + ".lo", vdd, vbn, in_n, in_p, lo);
+  w.out_lo = clo.out;
+  return w;
+}
+
+ComparatorSpec cp_bist_spec() {
+  ComparatorSpec s;
+  // Fig 9: 1u/0.2u against the nominal device, widening the offset to
+  // ~150 mV for the charge-balance window.
+  s.w_input = 0.2e-6;
+  s.w_offset = 1.0e-6;
+  s.l = 0.35e-6;
+  return s;
+}
+
+NodeId build_nbias(Netlist& nl, const std::string& prefix, NodeId vdd, double r_ohms, double w,
+                   double l) {
+  const NodeId vbn = nl.node(prefix + ".vbn");
+  nl.add(prefix + ".r_bias", Resistor{vdd, vbn, r_ohms});
+  nl.add(prefix + ".m_bias", Mosfet{vbn, vbn, kGround, MosType::kNmos, w, l, 0.0});
+  return vbn;
+}
+
+}  // namespace lsl::cells

@@ -1,0 +1,76 @@
+// Transistor-level comparator cells from the paper:
+//  - Fig 5: single-stage OTA with a deliberately mismatched input pair
+//    (0.8u/0.5u vs 0.5u/0.5u -> programmed offset) plus an output
+//    inverter. Used 4x as the DC-test comparators.
+//  - Fig 6: window comparator = two offset comparators with the wide
+//    device on opposite inputs (+offset / -offset), OR-decoded outside.
+//  - Fig 9: CP-BIST window comparator with a 1u/0.2u vs 0.2u/0.5u-class
+//    mismatch for a ~150 mV window around the charge-balance node.
+//
+// Builders append devices to an existing spice::Netlist under a name
+// prefix so cells compose into one flat link netlist for fault
+// enumeration. All device names are prefixed, which the fault layer uses
+// to attribute faults to cells.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace lsl::cells {
+
+/// Geometry knobs for the Fig-5 comparator. Defaults follow the paper:
+/// un-labelled devices 0.5u/0.5u, the offset device 0.8u/0.5u.
+struct ComparatorSpec {
+  double w_input = 0.5e-6;   // nominal input device width
+  double w_offset = 0.8e-6;  // widened input device width
+  double l = 0.5e-6;
+  double w_load = 1.0e-6;    // PMOS mirror loads
+  double w_tail = 1.0e-6;    // tail current source
+  double w_inv_p = 1.0e-6;   // output inverter
+  double w_inv_n = 0.5e-6;
+  /// True puts the wide device on the in- side: the comparator then
+  /// trips at (in+ - in-) = +offset. False mirrors it to -offset.
+  bool offset_on_minus = true;
+};
+
+/// Interface nodes of a built comparator.
+struct ComparatorPorts {
+  spice::NodeId in_p = spice::kGround;
+  spice::NodeId in_n = spice::kGround;
+  spice::NodeId out = spice::kGround;      // rail-to-rail decision
+  spice::NodeId out_pre = spice::kGround;  // OTA output, pre-inverter
+};
+
+/// Builds the Fig-5 offset comparator between existing supply nodes.
+/// `vbn` biases the tail current source.
+ComparatorPorts build_offset_comparator(spice::Netlist& nl, const std::string& prefix,
+                                        spice::NodeId vdd, spice::NodeId vbn,
+                                        spice::NodeId in_p, spice::NodeId in_n,
+                                        const ComparatorSpec& spec = {});
+
+/// Window comparator (Fig 6 / Fig 9): out_hi trips when (in_p - in_n)
+/// exceeds +offset, out_lo when it falls below -offset. Both low means
+/// "inside the window".
+struct WindowComparatorPorts {
+  spice::NodeId in_p = spice::kGround;
+  spice::NodeId in_n = spice::kGround;
+  spice::NodeId out_hi = spice::kGround;
+  spice::NodeId out_lo = spice::kGround;
+};
+
+WindowComparatorPorts build_window_comparator(spice::Netlist& nl, const std::string& prefix,
+                                              spice::NodeId vdd, spice::NodeId vbn,
+                                              spice::NodeId in_p, spice::NodeId in_n,
+                                              const ComparatorSpec& spec = {});
+
+/// Fig-9 variant: wider mismatch (1u vs 0.2u-class) giving the ~150 mV
+/// window used by the CP-BIST around the charge-balancing node.
+ComparatorSpec cp_bist_spec();
+
+/// NMOS bias generator: resistor + diode-connected NMOS producing the
+/// tail bias `vbn` shared by the comparator cells.
+spice::NodeId build_nbias(spice::Netlist& nl, const std::string& prefix, spice::NodeId vdd,
+                          double r_ohms = 60e3, double w = 1.0e-6, double l = 0.5e-6);
+
+}  // namespace lsl::cells

@@ -1,0 +1,63 @@
+#include "cells/termination.hpp"
+
+namespace lsl::cells {
+
+using spice::Capacitor;
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+
+namespace {
+
+/// Transmission-gate resistor: NMOS gated to VDD, PMOS gated to GND,
+/// both permanently on, in parallel between a and b.
+void build_tgate_resistor(Netlist& nl, const std::string& prefix, NodeId vdd, NodeId a, NodeId b,
+                          const TerminationSpec& spec) {
+  nl.add(prefix + ".m_tgn", Mosfet{a, vdd, b, MosType::kNmos, spec.w_tgate_n, spec.l_tgate, 0.0});
+  nl.add(prefix + ".m_tgp", Mosfet{a, kGround, b, MosType::kPmos, spec.w_tgate_p, spec.l_tgate, 0.0});
+}
+
+}  // namespace
+
+TerminationPorts build_termination(Netlist& nl, const std::string& prefix, NodeId vdd,
+                                   NodeId vbn, NodeId line_p, NodeId line_n, NodeId vmid_cr,
+                                   const TerminationSpec& spec) {
+  TerminationPorts p;
+  p.line_p = line_p;
+  p.line_n = line_n;
+  p.vmid_cr = vmid_cr;
+
+  // Receiver bias divider with decoupling.
+  p.vmid_rx = nl.node(prefix + ".vmid");
+  nl.add(prefix + ".r_divt", Resistor{vdd, p.vmid_rx, spec.r_div_top});
+  nl.add(prefix + ".r_divb", Resistor{p.vmid_rx, kGround, spec.r_div_bot});
+  nl.add(prefix + ".c_dec", Capacitor{p.vmid_rx, kGround, spec.c_decouple});
+
+  // Transmission-gate terminations.
+  build_tgate_resistor(nl, prefix + ".termp", vdd, line_p, p.vmid_rx, spec);
+  build_tgate_resistor(nl, prefix + ".termn", vdd, line_n, p.vmid_rx, spec);
+
+  // Per-arm DC-test windows against the receiver bias (four Fig-5
+  // comparators): single-arm faults shrink that arm's 30 mV-class
+  // excursion below the programmed offset and trip the observer.
+  const WindowComparatorPorts wp =
+      build_window_comparator(nl, prefix + ".wdata_p", vdd, vbn, line_p, p.vmid_rx, spec.line_cmp);
+  p.cmp_p_hi = wp.out_hi;
+  p.cmp_p_lo = wp.out_lo;
+  const WindowComparatorPorts wn =
+      build_window_comparator(nl, prefix + ".wdata_n", vdd, vbn, line_n, p.vmid_rx, spec.line_cmp);
+  p.cmp_n_hi = wn.out_hi;
+  p.cmp_n_lo = wn.out_lo;
+
+  // Bias window comparator (Fig 6), clocked at scan frequency.
+  const WindowComparatorPorts bias =
+      build_window_comparator(nl, prefix + ".wbias", vdd, vbn, p.vmid_rx, vmid_cr, spec.bias_cmp);
+  p.cmp_bias_hi = bias.out_hi;
+  p.cmp_bias_lo = bias.out_lo;
+  return p;
+}
+
+}  // namespace lsl::cells

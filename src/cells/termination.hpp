@@ -1,0 +1,70 @@
+// Fig 4: receiver-side termination of the differential interconnect.
+//
+// Each line terminates through a transmission-gate resistor to the
+// receiver bias Vmid_rx (a resistive divider with a decoupling cap).
+// The DFT additions of the paper live here too: the offset comparators
+// (Fig 5) observing the differential line for the DC test, and the
+// clocked window comparator (Fig 6) comparing the receiver bias against
+// the clock-recovery bias so bias-network faults are observable.
+//
+// A transmission gate deliberately terminates each line: a drain open in
+// *one* of its two devices leaves DC behaviour almost intact (the other
+// device still conducts) but changes the dynamic impedance — exactly the
+// fault class the paper flags as "not detectable at DC", caught by the
+// toggling scan-frequency test.
+#pragma once
+
+#include <string>
+
+#include "cells/comparator.hpp"
+#include "spice/netlist.hpp"
+
+namespace lsl::cells {
+
+struct TerminationSpec {
+  double w_tgate_n = 0.6e-6;  // termination tgate NMOS
+  double w_tgate_p = 1.6e-6;  // termination tgate PMOS
+  double l_tgate = 0.5e-6;
+  double r_div_top = 12e3;    // bias divider vdd -> vmid
+  double r_div_bot = 20e3;    // bias divider vmid -> gnd  (vmid ~ 0.75 V)
+  double c_decouple = 1e-12;
+  /// DC-test comparators observing each arm against the bias. The
+  /// offset is sized to HALF the fault-free arm excursion (the paper's
+  /// 15 mV against a 30 mV input): any fault that kills an arm's drive
+  /// trips the observer. 0.65u in our square-law 130 nm-class model
+  /// plays the role of the paper's 0.8u in UMC 130 nm.
+  ComparatorSpec line_cmp = [] {
+    ComparatorSpec s;
+    s.w_offset = 0.65e-6;
+    return s;
+  }();
+  ComparatorSpec bias_cmp;    // window comparator on the bias nodes
+};
+
+struct TerminationPorts {
+  spice::NodeId line_p = spice::kGround;
+  spice::NodeId line_n = spice::kGround;
+  spice::NodeId vmid_rx = spice::kGround;   // receiver termination bias
+  spice::NodeId vmid_cr = spice::kGround;   // clock-recovery bias (input)
+  // Per-arm DC-test window comparators (4 comparators = Table II's
+  // "Comparators (DC)"): p_hi trips when line_p sits above the bias by
+  // more than the offset, p_lo when below by more; likewise for the N
+  // arm. Healthy link, data=1: p_hi & n_lo; data=0: p_lo & n_hi.
+  spice::NodeId cmp_p_hi = spice::kGround;
+  spice::NodeId cmp_p_lo = spice::kGround;
+  spice::NodeId cmp_n_hi = spice::kGround;
+  spice::NodeId cmp_n_lo = spice::kGround;
+  // Bias window comparator outputs (clocked at scan frequency).
+  spice::NodeId cmp_bias_hi = spice::kGround;
+  spice::NodeId cmp_bias_lo = spice::kGround;
+};
+
+/// Builds the termination between existing line-end nodes. `vmid_cr` is
+/// the bias produced in the clock-recovery circuit (built by the charge
+/// pump cell); pass the node so the window comparator can compare them.
+TerminationPorts build_termination(spice::Netlist& nl, const std::string& prefix,
+                                   spice::NodeId vdd, spice::NodeId vbn, spice::NodeId line_p,
+                                   spice::NodeId line_n, spice::NodeId vmid_cr,
+                                   const TerminationSpec& spec = {});
+
+}  // namespace lsl::cells

@@ -1,0 +1,49 @@
+#include "cells/transmitter.hpp"
+
+namespace lsl::cells {
+
+using spice::Capacitor;
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+
+TransmitterArmPorts build_transmitter_arm(Netlist& nl, const std::string& prefix, NodeId vdd,
+                                          NodeId tap_main, NodeId tap_alpha, NodeId drv_in,
+                                          NodeId line, const TransmitterSpec& spec) {
+  TransmitterArmPorts p;
+  p.tap_main = tap_main;
+  p.tap_alpha = tap_alpha;
+  p.drv_in = drv_in;
+  p.line = line;
+
+  // Series equalizer capacitors (the FFE taps).
+  nl.add(prefix + ".c_main", Capacitor{tap_main, line, spec.c_main});
+  nl.add(prefix + ".c_alpha", Capacitor{tap_alpha, line, spec.c_alpha});
+
+  // Weak driver: push-pull inverter into a large series resistor, which
+  // approximates the paper's current-source-limited shunt driver.
+  p.drv_out = nl.node(prefix + ".drv");
+  nl.add(prefix + ".m_drvp", Mosfet{p.drv_out, drv_in, vdd, MosType::kPmos, spec.w_drv_p, spec.l, 0.0});
+  nl.add(prefix + ".m_drvn",
+         Mosfet{p.drv_out, drv_in, kGround, MosType::kNmos, spec.w_drv_n, spec.l, 0.0});
+  nl.add(prefix + ".r_weak", Resistor{p.drv_out, line, spec.r_weak});
+  return p;
+}
+
+void build_rc_line(Netlist& nl, const std::string& prefix, NodeId from, NodeId to,
+                   const RcLineSpec& spec) {
+  const double r_sec = spec.r_total / spec.sections;
+  const double c_sec = spec.c_total / spec.sections;
+  NodeId prev = from;
+  for (int i = 0; i < spec.sections; ++i) {
+    const NodeId next = (i + 1 == spec.sections) ? to : nl.node(prefix + ".n" + std::to_string(i));
+    nl.add(prefix + ".r" + std::to_string(i), Resistor{prev, next, r_sec});
+    nl.add(prefix + ".c" + std::to_string(i), Capacitor{next, kGround, c_sec});
+    prev = next;
+  }
+}
+
+}  // namespace lsl::cells

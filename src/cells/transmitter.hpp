@@ -1,0 +1,57 @@
+// Fig 3: capacitive 2-tap feed-forward equalizer with weak driver.
+//
+// Per differential arm the transmitter couples the current data bit
+// through a series capacitor Cs and the delayed+inverted bit through
+// Cs*alpha (the 2-tap FIR de-emphasis), while a weak push-pull driver
+// behind a large series resistor (the "-gm cell with a current source"
+// of the paper) holds the DC level so arbitrarily low activity factors
+// work. The rail-level tap voltages come from the digital flops; in this
+// analog netlist they appear as driven VSource nodes owned by the
+// harness.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace lsl::cells {
+
+struct TransmitterSpec {
+  double c_main = 120e-15;   // Cs
+  double c_alpha = 45e-15;   // Cs * alpha (worst-case optimized in [7])
+  double r_weak = 100e3;     // weak-driver series resistance
+  double w_drv_p = 1.0e-6;   // weak driver inverter PMOS
+  double w_drv_n = 0.4e-6;   // weak driver inverter NMOS
+  double l = 0.5e-6;
+};
+
+/// One arm of the transmitter. The caller provides the rail tap nodes:
+///  - tap_main: current-bit rail level
+///  - tap_alpha: delayed, inverted bit rail level
+///  - drv_in: weak-driver input (inverted data, so the driver output
+///    polarity matches the data)
+struct TransmitterArmPorts {
+  spice::NodeId tap_main = spice::kGround;
+  spice::NodeId tap_alpha = spice::kGround;
+  spice::NodeId drv_in = spice::kGround;
+  spice::NodeId drv_out = spice::kGround;  // weak inverter output, pre-resistor
+  spice::NodeId line = spice::kGround;     // line launch node
+};
+
+TransmitterArmPorts build_transmitter_arm(spice::Netlist& nl, const std::string& prefix,
+                                          spice::NodeId vdd, spice::NodeId tap_main,
+                                          spice::NodeId tap_alpha, spice::NodeId drv_in,
+                                          spice::NodeId line, const TransmitterSpec& spec = {});
+
+/// Distributed RC interconnect model: `sections` L-sections totalling
+/// r_total / c_total between `from` and `to`.
+struct RcLineSpec {
+  int sections = 4;
+  double r_total = 2.0e3;   // ~10 mm of minimum-width wire
+  double c_total = 2.0e-12;
+};
+
+void build_rc_line(spice::Netlist& nl, const std::string& prefix, spice::NodeId from,
+                   spice::NodeId to, const RcLineSpec& spec = {});
+
+}  // namespace lsl::cells

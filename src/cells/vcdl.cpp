@@ -1,0 +1,132 @@
+#include "cells/vcdl.hpp"
+
+#include <cmath>
+
+#include "spice/transient.hpp"
+
+namespace lsl::cells {
+
+using spice::Capacitor;
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::VSource;
+
+VcdlPorts build_vcdl(Netlist& nl, const std::string& prefix, NodeId vdd, NodeId vctl, NodeId in,
+                     NodeId out, const VcdlSpec& spec) {
+  VcdlPorts p;
+  p.in = in;
+  p.out = out;
+  p.vctl = vctl;
+
+  NodeId prev = in;
+  for (int s = 0; s < spec.stages; ++s) {
+    const bool last = s + 1 == spec.stages;
+    const NodeId stage_out = last ? out : nl.node(prefix + ".s" + std::to_string(s));
+    const NodeId tail = nl.node(prefix + ".t" + std::to_string(s));
+    const std::string sn = std::to_string(s);
+    nl.add(prefix + ".m_p" + sn, Mosfet{stage_out, prev, vdd, MosType::kPmos, spec.w_inv_p,
+                                        spec.l, 0.0});
+    nl.add(prefix + ".m_n" + sn,
+           Mosfet{stage_out, prev, tail, MosType::kNmos, spec.w_inv_n, spec.l, 0.0});
+    nl.add(prefix + ".m_s" + sn,
+           Mosfet{tail, vctl, kGround, MosType::kNmos, spec.w_starve, spec.l, 0.0});
+    nl.add(prefix + ".c" + sn, Capacitor{stage_out, kGround, spec.c_stage});
+    p.taps.push_back(stage_out);
+    prev = stage_out;
+  }
+  return p;
+}
+
+namespace {
+
+/// Builds a standalone instance with driven control and input.
+struct InstrumentedVcdl {
+  Netlist nl;
+  VcdlPorts ports;
+
+  InstrumentedVcdl(const VcdlSpec& spec, double vctl, double vdd) {
+    const NodeId nvdd = nl.node("vdd");
+    nl.add("v_vdd", VSource{nvdd, kGround, vdd});
+    const NodeId nctl = nl.node("vctl");
+    nl.add("v_ctl", VSource{nctl, kGround, vctl});
+    const NodeId nin = nl.node("in");
+    nl.add("v_in", VSource{nin, kGround, 0.0});
+    const NodeId nout = nl.node("out");
+    ports = build_vcdl(nl, "vcdl", nvdd, nctl, nin, nout, spec);
+  }
+};
+
+/// First time `probe` crosses vdd/2 in the direction implied by its
+/// final level, after `t_edge`. Negative if it never crosses.
+double crossing_time(const spice::TransientResult& res, const std::string& probe, double t_edge,
+                     double vdd) {
+  const auto& t = res.time;
+  const auto& v = res.probe(probe);
+  const double final_v = v.back();
+  const bool rising = final_v > vdd / 2.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] <= t_edge) continue;
+    if ((rising && v[i - 1] < vdd / 2.0 && v[i] >= vdd / 2.0) ||
+        (!rising && v[i - 1] > vdd / 2.0 && v[i] <= vdd / 2.0)) {
+      return t[i];
+    }
+  }
+  return -1.0;
+}
+
+spice::TransientResult step_response(InstrumentedVcdl& inst, double vdd,
+                                     const std::vector<std::string>& probes, double t_stop) {
+  spice::TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.dt = 2e-12;
+  opts.probes = probes;
+  return spice::run_transient(
+      inst.nl, {{"v_in", spice::pwl_wave({{0.0, 0.0}, {1e-9, 0.0}, {1.02e-9, vdd}})}}, opts);
+}
+
+}  // namespace
+
+double measure_vcdl_delay(const VcdlSpec& spec, double vctl, double vdd) {
+  InstrumentedVcdl inst(spec, vctl, vdd);
+  const auto res = step_response(inst, vdd, {"out"}, 8e-9);
+  if (!res.ok) return -1.0;
+  const double tc = crossing_time(res, "out", 1.0e-9, vdd);
+  return tc < 0.0 ? -1.0 : tc - 1.01e-9;
+}
+
+std::vector<double> measure_tap_delays(const VcdlSpec& spec, double vctl, double vdd) {
+  InstrumentedVcdl inst(spec, vctl, vdd);
+  std::vector<std::string> probes;
+  for (const auto tap : inst.ports.taps) probes.push_back(inst.nl.node_name(tap));
+  const auto res = step_response(inst, vdd, probes, 8e-9);
+  std::vector<double> delays;
+  if (!res.ok) return delays;
+  for (const auto& name : probes) {
+    const double tc = crossing_time(res, name, 1.0e-9, vdd);
+    if (tc < 0.0) return {};
+    delays.push_back(tc - 1.01e-9);
+  }
+  return delays;
+}
+
+bool dll_taps_uniform(const std::vector<double>& tap_delays, double tolerance) {
+  if (tap_delays.size() < 2) return false;
+  std::vector<double> spacings;
+  for (std::size_t i = 1; i < tap_delays.size(); ++i) {
+    const double s = tap_delays[i] - tap_delays[i - 1];
+    if (s <= 0.0) return false;  // non-monotonic: a stage is broken
+    spacings.push_back(s);
+  }
+  double mean = 0.0;
+  for (const double s : spacings) mean += s;
+  mean /= static_cast<double>(spacings.size());
+  for (const double s : spacings) {
+    if (std::fabs(s - mean) > tolerance * mean) return false;
+  }
+  return true;
+}
+
+}  // namespace lsl::cells

@@ -1,0 +1,57 @@
+// Transistor-level voltage-controlled delay line: a chain of
+// current-starved inverters. The starving footer's gate is the control
+// voltage, so MORE control voltage means MORE tail current and LESS
+// delay — the structural sign is opposite to the behavioral model's
+// (delay rising with Vc); the loop polarity absorbs it through the
+// charge-pump orientation, and the characterization below reports the
+// signed gain so the mapping is explicit.
+//
+// The paper excludes the DLL/VCDL from its interconnect BIST ("can be
+// treated as a stand-alone unit" testable per its refs [11][12]); the
+// dll_test helpers below implement that stand-alone check: per-tap delay
+// spacing uniformity over a characterized (possibly mismatched) line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace lsl::cells {
+
+struct VcdlSpec {
+  int stages = 4;            // inverting stages (even = non-inverting line)
+  double w_inv_p = 1.0e-6;
+  double w_inv_n = 0.5e-6;
+  double w_starve = 0.6e-6;  // footer current source
+  double l = 0.13e-6;
+  double c_stage = 20e-15;   // load per stage
+};
+
+struct VcdlPorts {
+  spice::NodeId in = spice::kGround;
+  spice::NodeId out = spice::kGround;
+  spice::NodeId vctl = spice::kGround;
+  std::vector<spice::NodeId> taps;  // per-stage outputs (DLL phases)
+};
+
+/// Builds the delay line between existing nodes. `vctl` gates every
+/// starving footer.
+VcdlPorts build_vcdl(spice::Netlist& nl, const std::string& prefix, spice::NodeId vdd,
+                     spice::NodeId vctl, spice::NodeId in, spice::NodeId out,
+                     const VcdlSpec& spec = {});
+
+/// Measures the propagation delay (input rising edge to output crossing
+/// vdd/2) of a standalone VCDL instance at control voltage `vctl` via
+/// transient simulation. Returns a negative value on failure.
+double measure_vcdl_delay(const VcdlSpec& spec, double vctl, double vdd = 1.2);
+
+/// Per-tap delays of one instance (for the DLL uniformity test).
+std::vector<double> measure_tap_delays(const VcdlSpec& spec, double vctl, double vdd = 1.2);
+
+/// Stand-alone DLL tap check per the paper's refs [11][12]: taps must be
+/// strictly ordered and their spacings within `tolerance` (fractional)
+/// of the mean spacing. Returns true when the line is healthy.
+bool dll_taps_uniform(const std::vector<double>& tap_delays, double tolerance = 0.35);
+
+}  // namespace lsl::cells

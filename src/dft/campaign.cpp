@@ -1,0 +1,135 @@
+#include "dft/campaign.hpp"
+
+#include "util/log.hpp"
+
+namespace lsl::dft {
+
+using fault::FaultClass;
+using fault::OpenLeak;
+using fault::StructuralFault;
+
+std::vector<const FaultOutcome*> CampaignReport::undetected() const {
+  std::vector<const FaultOutcome*> out;
+  for (const auto& o : outcomes) {
+    if (!o.detected_any()) out.push_back(&o);
+  }
+  return out;
+}
+
+namespace {
+
+struct StageResults {
+  bool dc = false;
+  bool scan = false;
+  bool bist = false;
+  bool anomalous = false;
+};
+
+StageResults run_stages(const cells::LinkFrontend& faulty_closed,
+                        const cells::LinkFrontend& faulty, const DcTestReference& dc_ref,
+                        const ScanTestReference& scan_ref, const BistTestReference& bist_ref,
+                        const CampaignOptions& opts) {
+  StageResults r;
+  const DcTestOutcome dc = run_dc_test(faulty_closed, dc_ref);
+  r.dc = dc.detected;
+  r.anomalous |= dc.anomalous;
+
+  const ScanTestOutcome scan = run_scan_test(faulty, scan_ref, opts.toggle);
+  r.scan = scan.detected;
+  r.anomalous |= scan.anomalous;
+
+  if (opts.with_bist) {
+    const BistTestOutcome bist = run_bist_test(faulty, bist_ref);
+    r.bist = bist.detected;
+    r.anomalous |= bist.anomalous;
+  }
+  return r;
+}
+
+void account(ClassStats& s, const FaultOutcome& o) {
+  s.dc.add(o.dc);
+  s.scan.add(o.scan);
+  s.bist.add(o.bist);
+  s.cum_dc.add(o.dc);
+  s.cum_scan.add(o.dc || o.scan);
+  s.cum_all.add(o.detected_any());
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts) {
+  CampaignReport report;
+
+  const auto vdd = *golden.netlist().find_node("vdd");
+  const std::vector<std::string> excludes =
+      opts.functional_circuit_only ? fault::test_circuitry_prefixes() : std::vector<std::string>{};
+  auto faults = fault::enumerate_structural_faults(golden.netlist(), opts.prefixes, excludes);
+  if (opts.max_faults != 0 && faults.size() > opts.max_faults) faults.resize(opts.max_faults);
+
+  // The DC test runs with the coarse loop closed (mission-mode DC
+  // operating point: Vc regulated at the window edge, strong pump and
+  // window comparator active). Scan and BIST need the pump gates
+  // drivable and run on the open-loop frontend.
+  cells::LinkFrontendSpec closed_spec = golden.spec();
+  closed_spec.close_coarse_loop = true;
+  const cells::LinkFrontend golden_closed(closed_spec);
+  const auto vdd_closed = *golden_closed.netlist().find_node("vdd");
+
+  const DcTestReference dc_ref = dc_test_reference(golden_closed);
+  ScanTestReference scan_ref = scan_test_reference(golden, opts.with_scan_toggle, opts.toggle);
+  BistTestReference bist_ref;
+  if (opts.with_bist) {
+    bist_ref = bist_test_reference(golden);
+    if (!bist_ref.valid) {
+      util::log_warn("campaign: golden BIST reference does not pass; BIST detections disabled");
+    }
+  }
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (opts.progress) opts.progress(i, faults.size());
+    const StructuralFault& f = faults[i];
+    FaultOutcome outcome;
+    outcome.fault = f;
+
+    const auto run_variant = [&](OpenLeak leak) {
+      cells::LinkFrontend faulty = golden;
+      cells::LinkFrontend faulty_closed = golden_closed;
+      if (!fault::inject(faulty.netlist(), f, leak, vdd) ||
+          !fault::inject(faulty_closed.netlist(), f, leak, vdd_closed)) {
+        util::log_error("campaign: failed to inject " + f.describe());
+        return StageResults{};
+      }
+      return run_stages(faulty_closed, faulty, dc_ref, scan_ref, bist_ref, opts);
+    };
+
+    if (f.needs_leak_variants() && opts.pessimistic_gate_opens) {
+      // Pessimistic convention: a floating gate's level is unknowable,
+      // so only faults flagged under BOTH leakage assumptions count.
+      const StageResults a = run_variant(OpenLeak::kToGround);
+      const StageResults b = run_variant(OpenLeak::kToVdd);
+      outcome.dc = a.dc && b.dc;
+      outcome.scan = a.scan && b.scan;
+      outcome.bist = a.bist && b.bist;
+      outcome.anomalous = a.anomalous || b.anomalous;
+    } else {
+      // Gate opens leak toward the device bulk; other opens have no
+      // leak dependence (the argument is ignored).
+      const OpenLeak leak = f.needs_leak_variants()
+                                ? fault::bulk_leak(golden.netlist(), f)
+                                : OpenLeak::kToGround;
+      const StageResults r = run_variant(leak);
+      outcome.dc = r.dc;
+      outcome.scan = r.scan;
+      outcome.bist = r.bist;
+      outcome.anomalous = r.anomalous;
+    }
+
+    if (outcome.anomalous) ++report.anomalous;
+    account(report.per_class[f.cls], outcome);
+    account(report.total, outcome);
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace lsl::dft

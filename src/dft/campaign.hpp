@@ -1,0 +1,76 @@
+// Full structural-fault campaign over the analog link: enumerates the
+// Table-I fault universe, injects each fault into a copy of the golden
+// frontend, and applies the paper's three test stages (DC test, scan
+// test, BIST). Gate opens run both floating-gate leak variants and
+// count as detected by a stage only if BOTH variants are.
+//
+// The output carries everything needed to regenerate Table I and the
+// 50.4% -> 74.3% -> 94.8% coverage progression of Section IV.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cells/link_frontend.hpp"
+#include "dft/bist_test.hpp"
+#include "dft/dc_test.hpp"
+#include "dft/scan_test.hpp"
+#include "fault/structural.hpp"
+#include "util/stats.hpp"
+
+namespace lsl::dft {
+
+struct CampaignOptions {
+  /// Cell prefixes included in the universe (empty = every MOSFET/cap in
+  /// the frontend netlist).
+  std::vector<std::string> prefixes;
+  /// Exclude the DFT observers (DC-test / bias / CP-BIST comparators)
+  /// from the universe — the paper's Table I covers the functional
+  /// analog circuit; the observers are Table II overhead.
+  bool functional_circuit_only = true;
+  bool with_scan_toggle = true;
+  bool with_bist = true;
+  /// 0 = full universe; otherwise only the first N faults (fast tests).
+  std::size_t max_faults = 0;
+  /// Gate-open handling. Default (false): the floating gate leaks toward
+  /// the device bulk (NMOS -> GND, PMOS -> VDD), the physically likely
+  /// level. Pessimistic (true): simulate both leak directions and count
+  /// a detection only when BOTH are flagged.
+  bool pessimistic_gate_opens = false;
+  ToggleOptions toggle;
+  /// Progress callback (fault index, total), for long campaign runs.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct FaultOutcome {
+  fault::StructuralFault fault;
+  bool dc = false;
+  bool scan = false;
+  bool bist = false;
+  bool anomalous = false;
+  bool detected_any() const { return dc || scan || bist; }
+};
+
+struct ClassStats {
+  util::Coverage dc;        // detected by the DC test alone
+  util::Coverage scan;      // detected by the scan test alone
+  util::Coverage bist;      // detected by the BIST alone
+  util::Coverage cum_dc;    // cumulative: DC
+  util::Coverage cum_scan;  // cumulative: DC + scan
+  util::Coverage cum_all;   // cumulative: DC + scan + BIST (Table I)
+};
+
+struct CampaignReport {
+  std::map<fault::FaultClass, ClassStats> per_class;
+  ClassStats total;
+  std::size_t anomalous = 0;
+  std::vector<FaultOutcome> outcomes;
+
+  std::vector<const FaultOutcome*> undetected() const;
+};
+
+CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts = {});
+
+}  // namespace lsl::dft

@@ -1,0 +1,46 @@
+#include "dft/dc_test.hpp"
+
+namespace lsl::dft {
+
+DcTestReference dc_test_reference(const cells::LinkFrontend& golden) {
+  DcTestReference ref;
+  cells::LinkFrontend fe = golden;
+  fe.set_data(true, true);
+  const auto r1 = fe.solve();
+  fe.set_data(false, false);
+  const auto r0 = fe.solve();
+  if (!r1.converged || !r0.converged) return ref;
+  ref.obs1 = fe.observe(r1);
+  ref.obs0 = fe.observe(r0);
+  ref.valid = true;
+  return ref;
+}
+
+DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReference& ref) {
+  DcTestOutcome out;
+  cells::LinkFrontend fe = fe_in;
+
+  fe.set_data(true, true);
+  const auto r1 = fe.solve();
+  if (!r1.converged) {
+    out.detected = true;
+    out.anomalous = true;
+    return out;
+  }
+  if (!fe.observe(r1).same_static(ref.obs1)) {
+    out.detected = true;
+    return out;
+  }
+
+  fe.set_data(false, false);
+  const auto r0 = fe.solve();
+  if (!r0.converged) {
+    out.detected = true;
+    out.anomalous = true;
+    return out;
+  }
+  out.detected = !fe.observe(r0).same_static(ref.obs0);
+  return out;
+}
+
+}  // namespace lsl::dft

@@ -1,0 +1,35 @@
+// The paper's DC test: two static vectors (interconnect data at logic 1
+// and at logic 0) applied to the full analog link, observed through the
+// offset comparators that the DFT adds at the receiver (Fig 4/5) and
+// the charge-pump/CP-BIST comparators whose outputs land in scan flops.
+// A fault is detected when any captured comparator decision differs from
+// the fault-free machine on either vector.
+#pragma once
+
+#include <optional>
+
+#include "cells/link_frontend.hpp"
+
+namespace lsl::dft {
+
+/// Fault-free reference for the DC test (one solve pass, reused across
+/// the whole campaign).
+struct DcTestReference {
+  cells::LinkObservation obs1;  // data = 1
+  cells::LinkObservation obs0;  // data = 0
+  bool valid = false;
+};
+
+DcTestReference dc_test_reference(const cells::LinkFrontend& golden);
+
+struct DcTestOutcome {
+  bool detected = false;
+  /// The faulty operating point failed to converge: the circuit is
+  /// pathological (reported separately, counted as detected).
+  bool anomalous = false;
+};
+
+/// Runs the two-vector DC test on a (faulted) frontend.
+DcTestOutcome run_dc_test(const cells::LinkFrontend& fe, const DcTestReference& ref);
+
+}  // namespace lsl::dft

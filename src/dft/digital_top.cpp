@@ -1,0 +1,225 @@
+#include "dft/digital_top.hpp"
+
+namespace lsl::dft {
+
+using digital::Circuit;
+using digital::FlipFlop;
+using digital::GateType;
+using digital::Latch;
+using digital::Logic;
+using digital::NetId;
+
+DigitalTop build_digital_top(std::size_t n_phases) {
+  DigitalTop t;
+  Circuit& c = t.c;
+
+  // ---- primary inputs --------------------------------------------------
+  t.data_in = c.net("data_in");
+  t.ten = c.net("ten");            // control signal #1 (Table II)
+  t.half_sel = c.net("half_sel");  // control signal #2
+  t.cmp_hi = c.net("cmp_hi");
+  t.cmp_lo = c.net("cmp_lo");
+  t.cmp_term = c.net("cmp_term");
+  t.bist_hi = c.net("bist_hi");
+  t.bist_lo = c.net("bist_lo");
+  for (const NetId n : {t.data_in, t.ten, t.half_sel, t.cmp_hi, t.cmp_lo, t.cmp_term, t.bist_hi,
+                        t.bist_lo}) {
+    c.make_input(n);
+  }
+  t.overhead.control_signals = 2;  // Ten + the shared scan enable
+
+  // ---- transmitter (Fig 3) ---------------------------------------------
+  // Two functional FFE tap flops.
+  const NetId tx1_q = c.net("tx1_q");
+  const NetId tx2_q = c.net("tx2_q");
+  const std::size_t tx1 = c.add_flipflop(FlipFlop{t.data_in, tx1_q, {}, {}, {}});
+  const std::size_t tx2 = c.add_flipflop(FlipFlop{tx1_q, tx2_q, {}, {}, {}});
+
+  // DFT: probe flops on the driver side of the series capacitors.
+  const NetId pr1_q = c.net("probe1_q");
+  const NetId pr2_q = c.net("probe2_q");
+  const std::size_t pr1 = c.add_flipflop(FlipFlop{tx1_q, pr1_q, {}, {}, {}});
+  const std::size_t pr2 = c.add_flipflop(FlipFlop{tx2_q, pr2_q, {}, {}, {}});
+  t.overhead.flip_flops += 2;
+
+  // DFT: the optional half-cycle delay in the data path (the Fig-3
+  // latch). Transparent in normal operation; in test mode (ten AND
+  // half_sel) it delays the launched data by half a cycle. In this
+  // cycle-accurate model the half-cycle shift is what flips which side
+  // of the PD's edge sample the data transition lands on, so the latch
+  // selects between the fresh tap (tx1) and the delayed tap (tx2).
+  const NetId hold = c.net("tx_hold");
+  c.add_gate(GateType::kAnd, {t.ten, t.half_sel}, hold);
+  t.overhead.logic_gates += 1;
+  const NetId line_pre = c.net("line_pre");
+  c.add_gate(GateType::kMux2, {hold, tx1_q, tx2_q}, line_pre);
+  const NetId en_one = c.net("latch_en1");
+  c.add_gate(GateType::kConst1, {}, en_one);
+  t.line_out = c.net("line_out");
+  t.tx_latch = c.add_latch(Latch{line_pre, t.line_out, en_one});
+  t.overhead.d_latches += 1;
+
+  // ---- receiver PD (Fig 7) ----------------------------------------------
+  // At scan frequency the boundary (edge) sample resolves to the value
+  // launched one cycle earlier; with the half-cycle latch transparent
+  // the PD therefore always asserts UP on transitions, and with the
+  // latch delaying the data it always asserts DN — the paper's two-pass
+  // test.
+  const NetId edge_in = c.net("edge_in");
+  c.add_gate(GateType::kBuf, {tx2_q}, edge_in);
+  t.pd = digital::build_alexander_pd(c, "pd", t.line_out, edge_in);
+
+  // DFT: the retiming flop clock select (phi_rx vs inverted) is a mux in
+  // the clock path; modelled as a data mux between the retimed output
+  // and a half-cycle (latch) version.
+  const NetId retime_latch_q = c.net("retime_half_q");
+  c.add_latch(Latch{t.pd.retimed, retime_latch_q, t.half_sel});
+  t.retimed_out = c.net("retimed_out");
+  c.add_gate(GateType::kMux2, {t.half_sel, t.pd.retimed, retime_latch_q}, t.retimed_out);
+  t.overhead.muxes += 1;
+
+  // ---- coarse control (Fig 8) -------------------------------------------
+  t.fsm = digital::build_coarse_fsm(c, "fsm", t.cmp_hi, t.cmp_lo);
+  t.overhead.flip_flops += 2;  // the comparator capture flops are DFT adds
+
+  t.ring = digital::build_ring_counter(c, "ring", n_phases, t.fsm.enable, t.fsm.dir);
+
+  t.dll_phases.reserve(n_phases);
+  for (std::size_t i = 0; i < n_phases; ++i) {
+    const NetId ph = c.net("phase" + std::to_string(i));
+    c.make_input(ph);
+    t.dll_phases.push_back(ph);
+  }
+  t.sw = digital::build_switch_matrix(c, "sw", t.dll_phases, t.ring.q);
+
+  t.divider = digital::build_divider(c, "div", 3);
+
+  // DFT: scan-clock mux for the coarse loop (clock path; modelled as a
+  // mux gate so it exists in the fault universe).
+  const NetId scan_clk = c.net("scan_clk");
+  c.make_input(scan_clk);
+  const NetId coarse_clk = c.net("coarse_clk");
+  c.add_gate(GateType::kMux2, {t.ten, t.divider.tick, scan_clk}, coarse_clk);
+  t.overhead.muxes += 1;
+
+  // ---- BIST lock detector (Fig 1 / Section III) --------------------------
+  // The shared scan-enable control also feeds the analog side (the
+  // charge-pump bias collapse needs Sen and its complement).
+  const NetId sen = c.net("sen");
+  c.make_input(sen);
+  t.sen = sen;
+  t.sen_b = c.net("sen_b");
+  c.add_gate(GateType::kInv, {sen}, t.sen_b);
+
+  // BIST runs with test mode on but scan shifting off.
+  const NetId bist_go = c.net("bist_go");
+  c.add_gate(GateType::kAnd, {t.ten, t.sen_b}, bist_go);
+
+  // Counts coarse-correction requests while the BIST runs.
+  const NetId lock_inc = c.net("lock_inc");
+  c.add_gate(GateType::kAnd, {t.fsm.enable, bist_go}, lock_inc);
+
+  // The counter clears for a fresh BIST whenever scan shifting is on.
+  const NetId lock_rst = c.net("lock_rst");
+  c.make_input(lock_rst);
+  const NetId lock_rst_int = c.net("lock_rst_int");
+  c.add_gate(GateType::kOr, {lock_rst, sen}, lock_rst_int);
+  t.lockdet = digital::build_saturating_counter(c, "lock", 3, lock_inc, lock_rst_int);
+  t.overhead.sat_counters += 1;
+
+  // DFT capture flops for the analog observation bits read over chain B.
+  const NetId term_cap_q = c.net("term_cap_q");
+  const std::size_t term_cap = c.add_flipflop(FlipFlop{t.cmp_term, term_cap_q, {}, {}, {}});
+  const NetId bist_hi_q = c.net("bist_hi_q");
+  const NetId bist_lo_q = c.net("bist_lo_q");
+  const std::size_t bist_hi_cap = c.add_flipflop(FlipFlop{t.bist_hi, bist_hi_q, {}, {}, {}});
+  const std::size_t bist_lo_cap = c.add_flipflop(FlipFlop{t.bist_lo, bist_lo_q, {}, {}, {}});
+  t.overhead.flip_flops += 3;
+
+  // Combined BIST fail flag (observable primary output): lock detector
+  // saturated or the CP-BIST comparator tripped after lock.
+  t.bist_fail = c.net("bist_fail");
+  c.add_gate(GateType::kOr, {t.lockdet.saturated, bist_hi_q}, t.bist_fail);
+  // hold + sen_b + bist_go + lock_inc + lock_rst_int + bist_fail.
+  t.overhead.logic_gates += 5;
+
+  // ---- analog comparator inventory (built in cells/, counted here) ------
+  t.overhead.dc_comparators = 4;    // 2x line window (Fig 5) + 2x CP-BIST (Fig 9)
+  t.overhead.fast_comparators = 2;  // bias window comparator at scan clock (Fig 6)
+
+  // ---- scan chain membership ---------------------------------------------
+  t.chain_a_flops = {tx1, tx2, pr1, pr2};
+  t.chain_a_flops.insert(t.chain_a_flops.end(), t.pd.flops.begin(), t.pd.flops.end());
+
+  t.chain_b_flops = {term_cap};
+  t.chain_b_flops.insert(t.chain_b_flops.end(), t.fsm.flops.begin(), t.fsm.flops.end());
+  t.chain_b_flops.push_back(bist_hi_cap);
+  t.chain_b_flops.push_back(bist_lo_cap);
+  t.chain_b_flops.insert(t.chain_b_flops.end(), t.ring.flops.begin(), t.ring.flops.end());
+  t.chain_b_flops.insert(t.chain_b_flops.end(), t.lockdet.flops.begin(), t.lockdet.flops.end());
+
+  // Chain B lives in the coarse (divided / scan) clock domain: shifting
+  // it must not clock the data-path flops and vice versa.
+  for (const std::size_t fi : t.chain_b_flops) c.flipflop(fi).domain = 1;
+  return t;
+}
+
+ScanChains stitch_scan_chains(DigitalTop& top) {
+  return ScanChains{digital::ScanChain(top.c, "sca", top.chain_a_flops),
+                    digital::ScanChain(top.c, "scb", top.chain_b_flops)};
+}
+
+digital::StuckCampaignResult run_digital_campaign(std::size_t patterns, std::uint64_t seed) {
+  DigitalTop top = build_digital_top();
+  ScanChains chains = stitch_scan_chains(top);
+  const std::vector<const digital::ScanChain*> chain_ptrs = {&chains.a, &chains.b};
+
+  std::vector<digital::NetId> pis = {top.data_in, top.ten,     top.half_sel,
+                                     top.cmp_hi,  top.cmp_lo,  top.cmp_term,
+                                     top.bist_hi, top.bist_lo, top.sen,
+                                     *top.c.find_net("scan_clk"),
+                                     *top.c.find_net("lock_rst")};
+  pis.insert(pis.end(), top.dll_phases.begin(), top.dll_phases.end());
+
+  util::Pcg32 rng(seed);
+  auto pats = digital::random_patterns_multi(chain_ptrs, pis, patterns, rng);
+
+  // Targeted extras per the paper's procedures: one-hot ring preloads in
+  // both directions (ring-counter test) and per-phase switch-matrix
+  // routing checks, with the all-zero preload as the no-clock case.
+  const std::size_t n_ring = top.ring.q.size();
+  for (std::size_t hot = 0; hot < n_ring; ++hot) {
+    for (int variant = 0; variant < 2; ++variant) {
+      digital::MultiScanPattern p = pats.front();
+      for (auto& b : p.chain_loads[1]) b = digital::Logic::k0;
+      // Ring flops sit after term_cap (1) + fsm (2) + bist caps (2).
+      p.chain_loads[1].at(5 + hot) = digital::Logic::k1;
+      for (auto& [net, v] : p.pi_values) v = digital::Logic::k0;
+      // Phase inputs: selected phase distinct from the others, both ways.
+      for (std::size_t i = 0; i < top.dll_phases.size(); ++i) {
+        p.pi_values.emplace_back(top.dll_phases[i],
+                                 digital::from_bool((i == hot) == (variant == 0)));
+      }
+      p.pi_values.emplace_back(top.cmp_hi, digital::from_bool(variant == 0));
+      p.pi_values.emplace_back(top.cmp_lo, digital::from_bool(variant == 1));
+      p.capture_cycles = 2;
+      pats.push_back(std::move(p));
+    }
+  }
+
+  // Observation points beyond the chains: the retimed data output, the
+  // PD and FSM outputs (they drive the charge pumps, so the analog side
+  // observes them), the switch-matrix clock, the launched line data, and
+  // the DFT glue outputs.
+  const std::vector<digital::NetId> observe = {
+      top.retimed_out, top.pd.up, top.pd.dn,   top.fsm.upst, top.fsm.dnst,
+      top.sw.out,      top.line_out, top.sen_b, top.bist_fail};
+
+  // The divider is shared across receivers and tested separately (the
+  // paper, Section II); clock nets are outside the stuck-at model.
+  const auto faults =
+      digital::enumerate_stuck_faults(top.c, {"div_", "scan_clk", "coarse_clk"});
+  return digital::run_stuck_campaign_multi(top.c, chain_ptrs, pats, faults, observe);
+}
+
+}  // namespace lsl::dft

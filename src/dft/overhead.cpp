@@ -1,0 +1,20 @@
+#include "dft/overhead.hpp"
+
+namespace lsl::dft {
+
+std::vector<OverheadRow> table2_rows() {
+  const DigitalTop top = build_digital_top();
+  const DigitalOverhead& o = top.overhead;
+  return {
+      {"Flip-flop", o.flip_flops, 7},
+      {"Comparators (DC)", o.dc_comparators, 4},
+      {"Comparators (100 MHz)", o.fast_comparators, 2},
+      {"D-Latch", o.d_latches, 1},
+      {"2x1 Multiplexer", o.muxes, 2},
+      {"3 bit saturating UP counter", o.sat_counters, 1},
+      {"Control signals", o.control_signals, 2},
+      {"Logic gates", o.logic_gates, 6},
+  };
+}
+
+}  // namespace lsl::dft

@@ -1,0 +1,23 @@
+// Table II: circuit and control-input overhead of the DFT insertion,
+// tallied from the actual construction in build_digital_top (not typed
+// in by hand).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dft/digital_top.hpp"
+
+namespace lsl::dft {
+
+struct OverheadRow {
+  std::string entity;
+  int number = 0;
+  int paper_number = 0;  // the value Table II reports, for comparison
+};
+
+/// Counts the overhead of a freshly built digital top and pairs each row
+/// with the paper's Table II value.
+std::vector<OverheadRow> table2_rows();
+
+}  // namespace lsl::dft

@@ -1,0 +1,173 @@
+#include "dft/scan_test.hpp"
+
+#include "spice/transient.hpp"
+
+namespace lsl::dft {
+
+using cells::LinkFrontend;
+using spice::kGround;
+using spice::VSource;
+
+CpScanSignature cp_scan_signature(const LinkFrontend& fe_in) {
+  CpScanSignature sig;
+  const double th = fe_in.spec().vdd / 2.0;
+  struct Combo {
+    bool up, dn, upst, dnst;
+  };
+  // The UP->DN ordering matters: a dead DN path leaves Vc stuck at the
+  // rail the UP drive parked it at.
+  const std::array<Combo, 5> combos = {Combo{false, false, false, false},
+                                       {true, false, false, false},
+                                       {false, true, false, false},
+                                       {false, false, true, false},
+                                       {false, false, false, true}};
+
+  double vc_prev = fe_in.spec().vdd / 2.0;  // pre-test level on the cap
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    // Phase 1: scan mode, pump driven as a combinational element. The
+    // loop-filter capacitor's memory is modelled as a weak holder at the
+    // previous level: any working drive path (kOhm..MOhm) overrides it,
+    // a dead path leaves Vc held.
+    LinkFrontend fe = fe_in;
+    fe.set_scan_mode(true);
+    fe.set_pump(combos[i].up, combos[i].dn);
+    fe.set_strong_pump(combos[i].upst, combos[i].dnst);
+    auto& drive_nl = fe.netlist();
+    const auto hold_node = drive_nl.node("scan.vc_hold");
+    drive_nl.add("scan.v_hold", VSource{hold_node, kGround, vc_prev});
+    drive_nl.add("scan.r_hold", spice::Resistor{hold_node, fe.cp_ports().vc, 1e9});
+    const auto r_drive = fe.solve();
+    if (!r_drive.converged) return sig;  // valid stays false
+    const double vc_reached = fe.vc(r_drive);
+    vc_prev = vc_reached;
+
+    // Phase 2: scan de-asserted for one capture cycle. The cap holds Vc
+    // at the driven level while the window comparator decides; model it
+    // as a clamp at the reached value.
+    LinkFrontend cap = fe_in;
+    cap.set_scan_mode(false);
+    cap.netlist().add("scan.clamp_vc", VSource{cap.cp_ports().vc, kGround, vc_reached});
+    const auto r_cap = cap.solve();
+    if (!r_cap.converged) return sig;
+    sig.window[i] = {r_cap.v(cap.netlist(), cap.cp_ports().cmp_hi) > th,
+                     r_cap.v(cap.netlist(), cap.cp_ports().cmp_lo) > th};
+  }
+  sig.valid = true;
+  return sig;
+}
+
+ScanStaticSignature scan_static_signature(const LinkFrontend& fe_in) {
+  ScanStaticSignature sig;
+  LinkFrontend fe = fe_in;
+  fe.set_scan_mode(true);
+  fe.set_data(true, true);
+  const auto r1 = fe.solve();
+  if (!r1.converged) return sig;
+  sig.obs1 = fe.observe(r1);
+  fe.set_data(false, false);
+  const auto r0 = fe.solve();
+  if (!r0.converged) return sig;
+  sig.obs0 = fe.observe(r0);
+  sig.valid = true;
+  return sig;
+}
+
+ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions& opts) {
+  ToggleSignature sig;
+  LinkFrontend fe = fe_in;
+  fe.set_scan_mode(true);
+  fe.set_data(false, false);
+
+  const auto& nl = fe.netlist();
+  const double vdd = fe.spec().vdd;
+  const double th = vdd / 2.0;
+
+  // Drive the data rails with complementary square waves at the scan
+  // frequency. The FFE taps and the weak-driver input all toggle.
+  std::unordered_map<std::string, spice::Waveform> drives;
+  const auto hi_lo = spice::square_wave(0.0, vdd, opts.scan_period);
+  const auto lo_hi = spice::square_wave(vdd, 0.0, opts.scan_period);
+  drives[fe.src_tap_main_p()] = hi_lo;
+  drives[fe.src_drv_in_p()] = lo_hi;
+  drives[fe.src_tap_main_n()] = lo_hi;
+  drives[fe.src_drv_in_n()] = hi_lo;
+  drives["v_tx_tap_alpha_p"] = lo_hi;  // delayed-inverted tap mirrors drv_in
+  drives["v_tx_tap_alpha_n"] = hi_lo;
+
+  spice::TransientOptions topts;
+  topts.t_stop = opts.cycles * opts.scan_period;
+  topts.dt = opts.dt;
+  topts.probes = {nl.node_name(fe.term_ports().cmp_p_hi), nl.node_name(fe.term_ports().cmp_p_lo),
+                  nl.node_name(fe.term_ports().cmp_n_hi), nl.node_name(fe.term_ports().cmp_n_lo)};
+  const auto res = spice::run_transient(nl, drives, topts);
+  if (!res.ok) return sig;
+
+  // Sample at the middle of each half period (where the tester's scan
+  // flops capture). Concatenate the four observer decisions.
+  const auto& t = res.time;
+  const double half = opts.scan_period / 2.0;
+  for (int c = 0; c < opts.cycles * opts.samples_per_cycle; ++c) {
+    const double ts = (c + 0.5) * half * (2.0 / opts.samples_per_cycle);
+    std::size_t idx = static_cast<std::size_t>(ts / opts.dt);
+    if (idx >= t.size()) idx = t.size() - 1;
+    sig.data_hi.push_back(res.probe(topts.probes[0])[idx] > th);
+    sig.data_hi.push_back(res.probe(topts.probes[2])[idx] > th);
+    sig.data_lo.push_back(res.probe(topts.probes[1])[idx] > th);
+    sig.data_lo.push_back(res.probe(topts.probes[3])[idx] > th);
+  }
+  sig.valid = true;
+  return sig;
+}
+
+ScanTestReference scan_test_reference(const LinkFrontend& golden, bool with_toggle,
+                                      const ToggleOptions& topts) {
+  ScanTestReference ref;
+  ref.cp = cp_scan_signature(golden);
+  ref.stat = scan_static_signature(golden);
+  ref.with_toggle = with_toggle;
+  if (with_toggle) ref.toggle = toggle_signature(golden, topts);
+  return ref;
+}
+
+ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& ref,
+                              const ToggleOptions& topts) {
+  ScanTestOutcome out;
+
+  const CpScanSignature cp = cp_scan_signature(fe);
+  if (!cp.valid) {
+    out.detected = true;
+    out.anomalous = true;
+    return out;
+  }
+  if (ref.cp.valid && !(cp == ref.cp)) {
+    out.detected = true;
+    return out;
+  }
+
+  const ScanStaticSignature stat = scan_static_signature(fe);
+  if (!stat.valid) {
+    out.detected = true;
+    out.anomalous = true;
+    return out;
+  }
+  if (ref.stat.valid && !stat.matches(ref.stat)) {
+    out.detected = true;
+    return out;
+  }
+
+  if (ref.with_toggle) {
+    const ToggleSignature tog = toggle_signature(fe, topts);
+    if (!tog.valid) {
+      out.detected = true;
+      out.anomalous = true;
+      return out;
+    }
+    if (ref.toggle.valid && !(tog == ref.toggle)) {
+      out.detected = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace lsl::dft

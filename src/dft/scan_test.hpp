@@ -1,0 +1,97 @@
+// The paper's scan test of the analog section (Section II-B):
+//
+//  1. Charge-pump-as-combinational test: scan mode collapses the pump
+//     biases; scan chain A forces the PD to assert UP or DN, which must
+//     drive Vc to the corresponding rail. De-asserting scan lets the
+//     window comparator capture Vc's level into the scan chain B flops.
+//     All four (UP, DN) combinations are applied.
+//  2. Static scan capture: the receiver comparator decisions for both
+//     data vectors are also observable while scan mode is active —
+//     covering the comparator-input scan switches themselves.
+//  3. Toggling-pattern test at the scan frequency (100 MHz): a transient
+//     that exposes dynamic-mismatch faults (e.g. a drain open in one of
+//     the transmission-gate termination devices) that leave the DC
+//     solution untouched.
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "cells/link_frontend.hpp"
+
+namespace lsl::dft {
+
+/// Captured signature of the charge-pump combinational test: the window
+/// comparator decisions after each pump drive. The weak combos come
+/// through the PD via scan chain A (idle, UP, DN — never both), the
+/// strong combos through the FSM outputs on scan chain B (UPst, DNst).
+/// The drives are applied IN SEQUENCE: the loop-filter capacitor holds
+/// Vc between drives, so a dead pull path leaves Vc at the previous
+/// level instead of floating — which is exactly how the real procedure
+/// catches a broken sink after first driving Vc high.
+struct CpScanSignature {
+  // One (hi, lo) pair per combo: idle, UP, DN, UPst, DNst.
+  std::array<std::pair<bool, bool>, 5> window;
+  bool valid = false;
+  bool operator==(const CpScanSignature&) const = default;
+};
+
+CpScanSignature cp_scan_signature(const cells::LinkFrontend& fe);
+
+/// Static scan-mode observations for both data vectors.
+struct ScanStaticSignature {
+  cells::LinkObservation obs1;
+  cells::LinkObservation obs0;
+  bool valid = false;
+  /// Scan strobes the same static comparator bits as the DC test (the
+  /// CP-BIST bits belong to the post-lock BIST readout).
+  bool matches(const ScanStaticSignature& o) const {
+    return obs1.same_static(o.obs1) && obs0.same_static(o.obs0);
+  }
+};
+
+ScanStaticSignature scan_static_signature(const cells::LinkFrontend& fe);
+
+/// Comparator decisions sampled at the scan clock during the toggling
+/// pattern (100 MHz data through the link).
+struct ToggleSignature {
+  std::vector<bool> data_hi;  // line window comparator, one per sample
+  std::vector<bool> data_lo;
+  bool valid = false;
+  bool operator==(const ToggleSignature&) const = default;
+};
+
+struct ToggleOptions {
+  double scan_period = 10e-9;  // 100 MHz
+  int cycles = 2;
+  double dt = 0.1e-9;
+  /// Strobes per cycle. The early-in-half-period strobes are the ones
+  /// that expose slowed settling (dynamic mismatch); by mid-half-period
+  /// a half-dead transmission gate has already caught up.
+  int samples_per_cycle = 4;
+};
+
+ToggleSignature toggle_signature(const cells::LinkFrontend& fe, const ToggleOptions& opts = {});
+
+struct ScanTestOutcome {
+  bool detected = false;
+  bool anomalous = false;  // non-convergence in the faulty machine
+};
+
+/// Reference bundle captured once on the golden frontend.
+struct ScanTestReference {
+  CpScanSignature cp;
+  ScanStaticSignature stat;
+  ToggleSignature toggle;
+  bool with_toggle = true;
+};
+
+ScanTestReference scan_test_reference(const cells::LinkFrontend& golden, bool with_toggle = true,
+                                      const ToggleOptions& topts = {});
+
+/// Full scan test of a (faulted) frontend against the reference.
+ScanTestOutcome run_scan_test(const cells::LinkFrontend& fe, const ScanTestReference& ref,
+                              const ToggleOptions& topts = {});
+
+}  // namespace lsl::dft

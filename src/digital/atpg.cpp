@@ -1,0 +1,157 @@
+#include "digital/atpg.hpp"
+
+namespace lsl::digital {
+
+namespace {
+
+/// Applies a pattern and snapshots every net value after the final
+/// capture settle, along with the observable response.
+struct Application {
+  std::vector<Logic> nets;
+  std::vector<Logic> response;
+};
+
+Application apply_and_snapshot(Circuit& c, const std::vector<const ScanChain*>& chains,
+                               const MultiScanPattern& p,
+                               const std::vector<NetId>& observe_nets) {
+  Application out;
+  c.power_on();
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains[i]->load_flop_order(c, p.chain_loads.at(i));
+  }
+  for (const auto& [net, v] : p.pi_values) c.set_input(net, v);
+  for (int k = 0; k < p.capture_cycles; ++k) {
+    chains.front()->capture(c);
+    for (const NetId n : observe_nets) out.response.push_back(c.value(n));
+  }
+  // Snapshot BEFORE the destructive chain read-out: this is where the
+  // error spread (the hill-climbing gradient) lives.
+  out.nets.reserve(c.net_count());
+  for (NetId n = 0; n < c.net_count(); ++n) out.nets.push_back(c.value(n));
+  for (const auto* chain : chains) {
+    const auto r = chain->read_flop_order(c);
+    out.response.insert(out.response.end(), r.begin(), r.end());
+  }
+  return out;
+}
+
+bool known_differs(Logic a, Logic b) { return is_known(a) && is_known(b) && a != b; }
+
+}  // namespace
+
+std::size_t atpg_score(Circuit& c, const std::vector<const ScanChain*>& chains,
+                       const MultiScanPattern& p, const StuckFault& fault,
+                       const std::vector<NetId>& observe_nets, bool& detected) {
+  c.clear_faults();
+  const Application good = apply_and_snapshot(c, chains, p, observe_nets);
+  c.set_stuck(fault.net, fault.value);
+  const Application bad = apply_and_snapshot(c, chains, p, observe_nets);
+  c.clear_faults();
+
+  std::size_t spread = 0;
+  for (std::size_t n = 0; n < good.nets.size(); ++n) {
+    if (known_differs(good.nets[n], bad.nets[n])) ++spread;
+  }
+  detected = false;
+  for (std::size_t i = 0; i < good.response.size(); ++i) {
+    if (known_differs(good.response[i], bad.response[i])) {
+      detected = true;
+      break;
+    }
+  }
+  // Detection dominates any spread improvement.
+  return spread + (detected ? 1000000 : 0);
+}
+
+AtpgResult generate_tests(Circuit& c, const std::vector<const ScanChain*>& chains,
+                          const std::vector<StuckFault>& faults,
+                          const std::vector<NetId>& pi_inputs,
+                          const std::vector<NetId>& observe_nets, const AtpgOptions& opts) {
+  AtpgResult result;
+  util::Pcg32 rng(opts.seed);
+
+  auto random_pattern = [&] {
+    MultiScanPattern p;
+    for (const auto* chain : chains) {
+      std::vector<Logic> load(chain->length());
+      for (auto& b : load) b = from_bool(rng.next_bool());
+      p.chain_loads.push_back(std::move(load));
+    }
+    for (const NetId pi : pi_inputs) p.pi_values.emplace_back(pi, from_bool(rng.next_bool()));
+    p.capture_cycles = opts.capture_cycles;
+    return p;
+  };
+
+  // All mutable bits of a pattern, as (chain index or -1 for PI, position).
+  auto flip_bit = [&](MultiScanPattern& p, std::size_t bit) {
+    for (auto& load : p.chain_loads) {
+      if (bit < load.size()) {
+        load[bit] = logic_not(load[bit]);
+        return;
+      }
+      bit -= load.size();
+    }
+    auto& [net, v] = p.pi_values.at(bit);
+    v = logic_not(v);
+  };
+  std::size_t n_bits = 0;
+  {
+    for (const auto* chain : chains) n_bits += chain->length();
+    n_bits += pi_inputs.size();
+  }
+
+  auto detected_by_existing = [&](const StuckFault& f) {
+    bool det = false;
+    for (const auto& p : result.patterns) {
+      atpg_score(c, chains, p, f, observe_nets, det);
+      if (det) return true;
+    }
+    return false;
+  };
+
+  for (const auto& f : faults) {
+    if (detected_by_existing(f)) {
+      result.coverage.add(true);
+      continue;
+    }
+
+    bool found = false;
+    for (std::size_t restart = 0; restart < opts.restarts && !found; ++restart) {
+      MultiScanPattern p = random_pattern();
+      bool det = false;
+      std::size_t best = atpg_score(c, chains, p, f, observe_nets, det);
+      if (det) {
+        result.patterns.push_back(p);
+        found = true;
+        break;
+      }
+      // Bit-flip hill climbing: accept any flip that raises the error
+      // spread; stop a pass early the moment detection lands.
+      for (std::size_t pass = 0; pass < opts.max_passes && !det; ++pass) {
+        bool improved = false;
+        for (std::size_t bit = 0; bit < n_bits && !det; ++bit) {
+          MultiScanPattern q = p;
+          flip_bit(q, bit);
+          bool qdet = false;
+          const std::size_t score = atpg_score(c, chains, q, f, observe_nets, qdet);
+          if (score > best) {
+            best = score;
+            p = std::move(q);
+            det = qdet;
+            improved = true;
+          }
+        }
+        if (!improved) break;  // local optimum
+      }
+      if (det) {
+        result.patterns.push_back(p);
+        found = true;
+      }
+    }
+    result.coverage.add(found);
+    if (!found) result.undetected.push_back(f);
+  }
+  return result;
+}
+
+}  // namespace lsl::digital

@@ -1,0 +1,132 @@
+#include "digital/blocks.hpp"
+
+namespace lsl::digital {
+
+RingCounterBlock build_ring_counter(Circuit& c, const std::string& prefix, std::size_t n,
+                                    NetId enable, NetId dir) {
+  RingCounterBlock b;
+  b.q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) b.q.push_back(c.net(prefix + "_q" + std::to_string(i)));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Shift up: bit i takes from i-1. Shift down: from i+1.
+    const NetId from_below = b.q[(i + n - 1) % n];
+    const NetId from_above = b.q[(i + 1) % n];
+    const NetId shifted = c.net(prefix + "_sh" + std::to_string(i));
+    c.add_gate(GateType::kMux2, {dir, from_above, from_below}, shifted);
+    const NetId d = c.net(prefix + "_d" + std::to_string(i));
+    c.add_gate(GateType::kMux2, {enable, b.q[i], shifted}, d);
+    b.flops.push_back(c.add_flipflop(FlipFlop{d, b.q[i], {}, {}, {}}));
+  }
+  return b;
+}
+
+SaturatingCounterBlock build_saturating_counter(Circuit& c, const std::string& prefix,
+                                                std::size_t bits, NetId inc, NetId reset) {
+  SaturatingCounterBlock b;
+  for (std::size_t i = 0; i < bits; ++i) b.q.push_back(c.net(prefix + "_q" + std::to_string(i)));
+
+  // saturated = AND of all bits.
+  b.saturated = c.net(prefix + "_sat");
+  c.add_gate(GateType::kAnd, b.q, b.saturated);
+
+  // effective increment = inc AND NOT saturated.
+  const NetId not_sat = c.net(prefix + "_nsat");
+  c.add_gate(GateType::kInv, {b.saturated}, not_sat);
+  NetId carry = c.net(prefix + "_c0");
+  c.add_gate(GateType::kAnd, {inc, not_sat}, carry);
+
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId d = c.net(prefix + "_d" + std::to_string(i));
+    c.add_gate(GateType::kXor, {b.q[i], carry}, d);
+    b.flops.push_back(c.add_flipflop(FlipFlop{d, b.q[i], {}, {}, reset}));
+    if (i + 1 < bits) {
+      const NetId next_carry = c.net(prefix + "_c" + std::to_string(i + 1));
+      c.add_gate(GateType::kAnd, {carry, b.q[i]}, next_carry);
+      carry = next_carry;
+    }
+  }
+  return b;
+}
+
+CoarseFsmBlock build_coarse_fsm(Circuit& c, const std::string& prefix, NetId cmp_hi,
+                                NetId cmp_lo) {
+  CoarseFsmBlock b;
+  b.cap_hi = c.net(prefix + "_cap_hi");
+  b.cap_lo = c.net(prefix + "_cap_lo");
+  b.flops.push_back(c.add_flipflop(FlipFlop{cmp_hi, b.cap_hi, {}, {}, {}}));
+  b.flops.push_back(c.add_flipflop(FlipFlop{cmp_lo, b.cap_lo, {}, {}, {}}));
+
+  b.enable = c.net(prefix + "_en");
+  c.add_gate(GateType::kOr, {b.cap_hi, b.cap_lo}, b.enable);
+  b.dir = c.net(prefix + "_dir");
+  c.add_gate(GateType::kBuf, {b.cap_hi}, b.dir);
+  // Vc above VH: discharge strongly (DNst); below VL: charge (UPst).
+  b.dnst = c.net(prefix + "_dnst");
+  c.add_gate(GateType::kBuf, {b.cap_hi}, b.dnst);
+  b.upst = c.net(prefix + "_upst");
+  c.add_gate(GateType::kBuf, {b.cap_lo}, b.upst);
+  return b;
+}
+
+SwitchMatrixBlock build_switch_matrix(Circuit& c, const std::string& prefix,
+                                      const std::vector<NetId>& phases,
+                                      const std::vector<NetId>& sel) {
+  SwitchMatrixBlock b;
+  std::vector<NetId> terms;
+  terms.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const NetId t = c.net(prefix + "_t" + std::to_string(i));
+    c.add_gate(GateType::kAnd, {phases[i], sel[i]}, t);
+    terms.push_back(t);
+  }
+  b.out = c.net(prefix + "_out");
+  c.add_gate(GateType::kOr, terms, b.out);
+  return b;
+}
+
+DividerBlock build_divider(Circuit& c, const std::string& prefix, std::size_t bits) {
+  DividerBlock b;
+  for (std::size_t i = 0; i < bits; ++i) b.q.push_back(c.net(prefix + "_q" + std::to_string(i)));
+
+  NetId carry = c.net(prefix + "_one");
+  c.add_gate(GateType::kConst1, {}, carry);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const NetId d = c.net(prefix + "_d" + std::to_string(i));
+    c.add_gate(GateType::kXor, {b.q[i], carry}, d);
+    b.flops.push_back(c.add_flipflop(FlipFlop{d, b.q[i], {}, {}, {}}));
+    if (i + 1 < bits) {
+      const NetId next_carry = c.net(prefix + "_cy" + std::to_string(i + 1));
+      c.add_gate(GateType::kAnd, {carry, b.q[i]}, next_carry);
+      carry = next_carry;
+    }
+  }
+  b.tick = b.q.back();
+  return b;
+}
+
+AlexanderPdBlock build_alexander_pd(Circuit& c, const std::string& prefix, NetId data_in,
+                                    NetId edge_in) {
+  AlexanderPdBlock b;
+  const NetId cur = c.net(prefix + "_cur");
+  const NetId edge = c.net(prefix + "_edge");
+  const NetId prev = c.net(prefix + "_prev");
+  b.flops.push_back(c.add_flipflop(FlipFlop{data_in, cur, {}, {}, {}}));
+  b.flops.push_back(c.add_flipflop(FlipFlop{edge_in, edge, {}, {}, {}}));
+  b.flops.push_back(c.add_flipflop(FlipFlop{cur, prev, {}, {}, {}}));
+
+  // Bang-bang decode on a data transition (prev != cur): if the clock is
+  // early the edge sample still equals prev, so edge^cur = 1 -> UP (add
+  // VCDL delay); if late the edge sample equals cur, so prev^edge = 1 ->
+  // DN. With no transition both stay 0 (no pump activity).
+  b.up = c.net(prefix + "_up");
+  c.add_gate(GateType::kXor, {edge, cur}, b.up);
+  b.dn = c.net(prefix + "_dn");
+  c.add_gate(GateType::kXor, {prev, edge}, b.dn);
+
+  b.retimed = c.net(prefix + "_retimed");
+  b.flops.push_back(c.add_flipflop(FlipFlop{cur, b.retimed, {}, {}, {}}));
+  return b;
+}
+
+}  // namespace lsl::digital

@@ -1,0 +1,83 @@
+// Gate-level builders for the paper's digital control blocks (Fig 1 and
+// Fig 8): the one-hot UP/DN ring counter driving the DLL switch matrix,
+// the coarse-control FSM, the 3-bit saturating lock-detector counter,
+// the synchronous clock divider, and the Alexander phase detector's
+// flop/XOR structure. Each builder adds gates/flops to an existing
+// Circuit under a name prefix and returns the interface nets plus the
+// flop indices (so the DFT layer can stitch scan chains through them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "digital/circuit.hpp"
+
+namespace lsl::digital {
+
+/// Bidirectional one-hot ring counter ("UP DOWN Counter" of Fig 1).
+/// While `enable` is 1, the hot bit moves up (dir=1) or down (dir=0)
+/// each clock; otherwise it holds.
+struct RingCounterBlock {
+  std::vector<NetId> q;  // one-hot phase-select outputs
+  std::vector<std::size_t> flops;
+};
+RingCounterBlock build_ring_counter(Circuit& c, const std::string& prefix, std::size_t n,
+                                    NetId enable, NetId dir);
+
+/// Saturating binary UP counter (the BIST lock detector; the paper uses
+/// 3 bits for a 10-phase DLL). Increments while `inc` is 1 until all
+/// ones, then holds. `reset` is the flop asynchronous reset net.
+struct SaturatingCounterBlock {
+  std::vector<NetId> q;  // LSB first
+  NetId saturated;       // all-ones flag
+  std::vector<std::size_t> flops;
+};
+SaturatingCounterBlock build_saturating_counter(Circuit& c, const std::string& prefix,
+                                                std::size_t bits, NetId inc, NetId reset);
+
+/// Coarse-loop control FSM (Fig 8): captures the window-comparator
+/// outputs and derives the ring-counter enable/direction plus the
+/// strong-charge-pump UPst/DNst requests.
+///   cmp_hi = 1 when Vc rose above VH -> step phase up, discharge Vc.
+///   cmp_lo = 1 when Vc fell below VL -> step phase down, charge Vc.
+struct CoarseFsmBlock {
+  NetId cap_hi;  // captured comparator bits (scan-observable flops)
+  NetId cap_lo;
+  NetId enable;  // ring-counter enable (coarse correction request)
+  NetId dir;     // ring-counter direction (1 = up)
+  NetId upst;    // strong pump charge request
+  NetId dnst;    // strong pump discharge request
+  std::vector<std::size_t> flops;
+};
+CoarseFsmBlock build_coarse_fsm(Circuit& c, const std::string& prefix, NetId cmp_hi, NetId cmp_lo);
+
+/// Switch matrix: AND-OR select of one of `phases` by the one-hot `sel`.
+struct SwitchMatrixBlock {
+  NetId out;
+};
+SwitchMatrixBlock build_switch_matrix(Circuit& c, const std::string& prefix,
+                                      const std::vector<NetId>& phases,
+                                      const std::vector<NetId>& sel);
+
+/// Synchronous divide-by-2^bits counter; `tick` is the MSB (the divided
+/// clock enable for the coarse loop).
+struct DividerBlock {
+  std::vector<NetId> q;  // LSB first
+  NetId tick;
+  std::vector<std::size_t> flops;
+};
+DividerBlock build_divider(Circuit& c, const std::string& prefix, std::size_t bits);
+
+/// Alexander (bang-bang) phase detector flop/XOR structure of Fig 7:
+/// current-sample, edge-sample and previous-sample flops, XOR decoding
+/// to UP/DN, plus the retiming flop that closes scan chain A.
+struct AlexanderPdBlock {
+  NetId up;
+  NetId dn;
+  NetId retimed;  // retimed data output (scan chain A tail)
+  std::vector<std::size_t> flops;
+};
+AlexanderPdBlock build_alexander_pd(Circuit& c, const std::string& prefix, NetId data_in,
+                                    NetId edge_in);
+
+}  // namespace lsl::digital

@@ -1,0 +1,188 @@
+#include "digital/circuit.hpp"
+
+#include <stdexcept>
+
+namespace lsl::digital {
+
+NetId Circuit::net(const std::string& name) {
+  if (net_by_name_.count(name) != 0) throw std::invalid_argument("duplicate net: " + name);
+  const NetId id = net_names_.size();
+  net_names_.push_back(name);
+  net_by_name_.emplace(name, id);
+  input_flag_.push_back(false);
+  values_.push_back(Logic::kX);
+  return id;
+}
+
+NetId Circuit::net_or_new(const std::string& name) {
+  const auto it = net_by_name_.find(name);
+  if (it != net_by_name_.end()) return it->second;
+  return net(name);
+}
+
+std::optional<NetId> Circuit::find_net(const std::string& name) const {
+  const auto it = net_by_name_.find(name);
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Circuit::net_name(NetId id) const { return net_names_.at(id); }
+
+void Circuit::make_input(NetId n) { input_flag_.at(n) = true; }
+
+bool Circuit::is_input(NetId n) const { return input_flag_.at(n); }
+
+void Circuit::add_gate(GateType type, std::vector<NetId> inputs, NetId output) {
+  gates_.push_back(Gate{type, std::move(inputs), output});
+}
+
+std::size_t Circuit::add_flipflop(FlipFlop ff) {
+  flipflops_.push_back(ff);
+  ff_q_.push_back(Logic::kX);
+  return flipflops_.size() - 1;
+}
+
+std::size_t Circuit::add_latch(Latch l) {
+  latches_.push_back(l);
+  latch_q_.push_back(Logic::kX);
+  return latches_.size() - 1;
+}
+
+void Circuit::power_on() {
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!input_flag_[i]) values_[i] = Logic::kX;
+  }
+  for (auto& q : ff_q_) q = Logic::kX;
+  for (auto& q : latch_q_) q = Logic::kX;
+}
+
+void Circuit::apply_reset() {
+  settle();
+  for (std::size_t i = 0; i < flipflops_.size(); ++i) {
+    const auto& ff = flipflops_[i];
+    if (ff.reset.has_value() && read(*ff.reset) == Logic::k1) ff_q_[i] = Logic::k0;
+  }
+  settle();
+}
+
+void Circuit::set_input(NetId n, Logic v) {
+  if (!input_flag_.at(n)) throw std::invalid_argument("not an input: " + net_names_.at(n));
+  values_[n] = v;
+}
+
+Logic Circuit::value(NetId n) const { return values_.at(n); }
+
+void Circuit::write(NetId n, Logic v) {
+  if (stuck_net_.has_value() && *stuck_net_ == n) v = stuck_value_;
+  values_[n] = v;
+}
+
+Logic Circuit::eval_gate(const Gate& g) const {
+  auto in = [&](std::size_t i) { return read(g.inputs.at(i)); };
+  switch (g.type) {
+    case GateType::kBuf: return in(0);
+    case GateType::kInv: return logic_not(in(0));
+    case GateType::kConst0: return Logic::k0;
+    case GateType::kConst1: return Logic::k1;
+    case GateType::kMux2: return logic_mux(in(0), in(1), in(2));
+    case GateType::kAnd:
+    case GateType::kNand: {
+      Logic acc = Logic::k1;
+      for (const NetId n : g.inputs) acc = logic_and(acc, read(n));
+      return g.type == GateType::kAnd ? acc : logic_not(acc);
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      Logic acc = Logic::k0;
+      for (const NetId n : g.inputs) acc = logic_or(acc, read(n));
+      return g.type == GateType::kOr ? acc : logic_not(acc);
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      Logic acc = Logic::k0;
+      for (const NetId n : g.inputs) acc = logic_xor(acc, read(n));
+      return g.type == GateType::kXor ? acc : logic_not(acc);
+    }
+  }
+  return Logic::kX;
+}
+
+void Circuit::settle() {
+  // Apply the stuck fault to an input net too (inputs are written
+  // directly by set_input and bypass write()).
+  if (stuck_net_.has_value() && input_flag_.at(*stuck_net_)) values_[*stuck_net_] = stuck_value_;
+
+  // Flip-flop outputs present their held state.
+  for (std::size_t i = 0; i < flipflops_.size(); ++i) write(flipflops_[i].q, ff_q_[i]);
+
+  const std::size_t sweep_limit = 2 * (gates_.size() + latches_.size()) + 4;
+  bool changed = true;
+  std::size_t sweeps = 0;
+  while (changed && sweeps < sweep_limit) {
+    changed = false;
+    ++sweeps;
+    for (const Gate& g : gates_) {
+      const Logic v = eval_gate(g);
+      const Logic before = values_[g.output];
+      write(g.output, v);  // may be overridden by a stuck fault
+      if (values_[g.output] != before) changed = true;
+    }
+    for (std::size_t i = 0; i < latches_.size(); ++i) {
+      const Latch& l = latches_[i];
+      const Logic en = read(l.en);
+      Logic q = latch_q_[i];
+      if (en == Logic::k1) {
+        q = read(l.d);
+      } else if (en == Logic::kX) {
+        // Unknown enable: output known only if held state and input agree.
+        q = (latch_q_[i] == read(l.d)) ? latch_q_[i] : Logic::kX;
+      }
+      latch_q_[i] = q;
+      const Logic before = values_[l.q];
+      write(l.q, q);
+      if (values_[l.q] != before) changed = true;
+    }
+  }
+  if (changed) {
+    // Combinational oscillation: X out every gate/latch output.
+    for (const Gate& g : gates_) write(g.output, Logic::kX);
+    for (const Latch& l : latches_) write(l.q, Logic::kX);
+  }
+}
+
+void Circuit::step(std::uint32_t domain_mask) {
+  settle();
+  // Rising edge: capture D (or scan-in) into every clocked flop
+  // simultaneously.
+  std::vector<Logic> next = ff_q_;
+  for (std::size_t i = 0; i < flipflops_.size(); ++i) {
+    const auto& ff = flipflops_[i];
+    if ((domain_mask & (1u << ff.domain)) == 0) continue;
+    if (ff.reset.has_value() && read(*ff.reset) == Logic::k1) {
+      next[i] = Logic::k0;
+      continue;
+    }
+    Logic d = read(ff.d);
+    if (ff.scan_en.has_value()) {
+      d = logic_mux(read(*ff.scan_en), d, read(*ff.scan_in));
+    }
+    next[i] = d;
+  }
+  ff_q_ = std::move(next);
+  settle();
+}
+
+Logic Circuit::ff_state(std::size_t ff_index) const { return ff_q_.at(ff_index); }
+
+void Circuit::set_ff_state(std::size_t ff_index, Logic v) { ff_q_.at(ff_index) = v; }
+
+Logic Circuit::latch_state(std::size_t latch_index) const { return latch_q_.at(latch_index); }
+
+void Circuit::set_stuck(NetId n, Logic v) {
+  stuck_net_ = n;
+  stuck_value_ = v;
+}
+
+void Circuit::clear_faults() { stuck_net_.reset(); }
+
+}  // namespace lsl::digital

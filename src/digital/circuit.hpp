@@ -1,0 +1,152 @@
+// Gate-level synchronous circuit model.
+//
+// A Circuit is a set of nets driven by combinational gates, transparent
+// latches, and edge-triggered flip-flops in a single clock domain. The
+// paper's digital control blocks (control FSM, UP/DN ring counter,
+// switch matrix, lock detector) are built on these primitives, then scan
+// chains are stitched through the flip-flops by the DFT layer.
+//
+// Evaluation is sweep-to-fixpoint over the combinational elements
+// (latches included while transparent); `step()` then commits flip-flop
+// state. Nets that fail to settle are driven to X, so combinational
+// feedback degrades safely instead of hanging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "digital/logic.hpp"
+
+namespace lsl::digital {
+
+using NetId = std::size_t;
+
+enum class GateType {
+  kBuf,
+  kInv,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,   // inputs: {sel, d0, d1}
+  kConst0,
+  kConst1,
+};
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<NetId> inputs;
+  NetId output = 0;
+};
+
+/// Rising-edge D flip-flop with asynchronous active-high reset (to 0)
+/// and an optional built-in scan path: when `scan_en` (a net) is 1, the
+/// flop captures `scan_in` instead of `d`, exactly like a mux-D scan
+/// cell.
+struct FlipFlop {
+  NetId d = 0;
+  NetId q = 0;
+  std::optional<NetId> scan_en;
+  std::optional<NetId> scan_in;
+  std::optional<NetId> reset;
+  /// Clock domain (0..31). step() only captures flops whose domain bit
+  /// is in the mask — the paper's chain A and chain B live in different
+  /// clock domains, so shifting one must not clock the other.
+  unsigned domain = 0;
+};
+
+/// Level-sensitive latch: transparent while `en` is 1.
+struct Latch {
+  NetId d = 0;
+  NetId q = 0;
+  NetId en = 0;
+};
+
+class Circuit {
+ public:
+  /// Creates a named net. Names must be unique.
+  NetId net(const std::string& name);
+  /// Get-or-create by name.
+  NetId net_or_new(const std::string& name);
+  std::optional<NetId> find_net(const std::string& name) const;
+  const std::string& net_name(NetId id) const;
+  std::size_t net_count() const { return net_names_.size(); }
+
+  /// Marks a net as a primary input (settable via set_input).
+  void make_input(NetId n);
+  bool is_input(NetId n) const;
+
+  void add_gate(GateType type, std::vector<NetId> inputs, NetId output);
+  std::size_t add_flipflop(FlipFlop ff);
+  std::size_t add_latch(Latch l);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<FlipFlop>& flipflops() const { return flipflops_; }
+  const std::vector<Latch>& latches() const { return latches_; }
+  /// Mutable flip-flop access for scan stitching (DFT insertion edits
+  /// the scan hookup of existing flops).
+  FlipFlop& flipflop(std::size_t i) { return flipflops_.at(i); }
+
+  // ---- simulation state ----
+
+  /// Resets every net to X and flip-flop/latch state to X (power-on).
+  void power_on();
+  /// Applies asynchronous reset: flops with a reset net asserted go to 0.
+  /// (Evaluates combinational logic first so reset nets are known.)
+  void apply_reset();
+
+  void set_input(NetId n, Logic v);
+  void set_input(NetId n, bool v) { set_input(n, from_bool(v)); }
+  Logic value(NetId n) const;
+
+  /// Settles combinational logic (and transparent latches) to fixpoint.
+  /// Called automatically by step(); exposed for "peek before clocking".
+  void settle();
+
+  /// One clock cycle: settle, capture flip-flops on the rising edge,
+  /// settle again with the new state. Only flops whose domain bit is set
+  /// in `domain_mask` capture (default: every domain).
+  void step(std::uint32_t domain_mask = 0xffffffffu);
+
+  /// Direct flip-flop state access (used by scan preload in tests and by
+  /// the DFT layer to model preloaded chains).
+  Logic ff_state(std::size_t ff_index) const;
+  void set_ff_state(std::size_t ff_index, Logic v);
+  Logic latch_state(std::size_t latch_index) const;
+
+  // ---- fault support ----
+
+  /// Forces a net to a stuck value during every evaluation (single
+  /// stuck-at model). Clears with clear_faults().
+  void set_stuck(NetId n, Logic v);
+  void clear_faults();
+  bool has_fault() const { return stuck_net_.has_value(); }
+
+ private:
+  Logic read(NetId n) const { return values_[n]; }
+  /// Writes a net value respecting an active stuck fault.
+  void write(NetId n, Logic v);
+  Logic eval_gate(const Gate& g) const;
+
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::vector<bool> input_flag_;
+  std::vector<Gate> gates_;
+  std::vector<FlipFlop> flipflops_;
+  std::vector<Latch> latches_;
+
+  std::vector<Logic> values_;
+  std::vector<Logic> ff_q_;
+  std::vector<Logic> latch_q_;
+
+  std::optional<NetId> stuck_net_;
+  Logic stuck_value_ = Logic::kX;
+};
+
+}  // namespace lsl::digital

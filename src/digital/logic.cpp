@@ -1,0 +1,52 @@
+#include "digital/logic.hpp"
+
+#include <stdexcept>
+
+namespace lsl::digital {
+
+bool to_bool(Logic v) {
+  if (v == Logic::kX) throw std::logic_error("to_bool on X");
+  return v == Logic::k1;
+}
+
+Logic logic_not(Logic a) {
+  if (a == Logic::kX) return Logic::kX;
+  return a == Logic::k0 ? Logic::k1 : Logic::k0;
+}
+
+Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::k1 && b == Logic::k1) return Logic::k1;
+  return Logic::kX;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::k0 && b == Logic::k0) return Logic::k0;
+  return Logic::kX;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return from_bool(to_bool(a) != to_bool(b));
+}
+
+Logic logic_mux(Logic sel, Logic d0, Logic d1) {
+  if (sel == Logic::k0) return d0;
+  if (sel == Logic::k1) return d1;
+  if (d0 == d1 && is_known(d0)) return d0;
+  return Logic::kX;
+}
+
+char logic_char(Logic v) {
+  switch (v) {
+    case Logic::k0: return '0';
+    case Logic::k1: return '1';
+    case Logic::kX: return 'X';
+  }
+  return '?';
+}
+
+std::string logic_str(Logic v) { return std::string(1, logic_char(v)); }
+
+}  // namespace lsl::digital

@@ -1,0 +1,30 @@
+// Three-valued logic (0 / 1 / X) for the gate-level simulator. X models
+// both unknown power-on state and oscillation cut-off, which matters for
+// scan tests: a fault is only "detected" by a vector if the observed
+// value is a *known* value that differs from the good machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lsl::digital {
+
+enum class Logic : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline Logic from_bool(bool b) { return b ? Logic::k1 : Logic::k0; }
+inline bool is_known(Logic v) { return v != Logic::kX; }
+/// Requires a known value.
+bool to_bool(Logic v);
+
+Logic logic_not(Logic a);
+Logic logic_and(Logic a, Logic b);
+Logic logic_or(Logic a, Logic b);
+Logic logic_xor(Logic a, Logic b);
+/// 2:1 multiplexer with X-pessimism: when the select is X, the result is
+/// known only if both data inputs agree.
+Logic logic_mux(Logic sel, Logic d0, Logic d1);
+
+char logic_char(Logic v);
+std::string logic_str(Logic v);
+
+}  // namespace lsl::digital

@@ -1,0 +1,177 @@
+#include "digital/stuck.hpp"
+
+namespace lsl::digital {
+
+std::string StuckFault::describe(const Circuit& c) const {
+  return c.net_name(net) + (value == Logic::k0 ? " s@0" : " s@1");
+}
+
+std::vector<StuckFault> enumerate_stuck_faults(const Circuit& c,
+                                               const std::vector<std::string>& exclude_prefixes) {
+  // Tie cells make one polarity redundant: a constant-1 net stuck at 1
+  // is not a fault. Standard ATPG excludes these from the universe.
+  std::vector<Logic> tied(c.net_count(), Logic::kX);
+  for (const auto& g : c.gates()) {
+    if (g.type == GateType::kConst0) tied[g.output] = Logic::k0;
+    if (g.type == GateType::kConst1) tied[g.output] = Logic::k1;
+  }
+  auto excluded = [&](NetId n) {
+    const std::string& name = c.net_name(n);
+    for (const auto& p : exclude_prefixes) {
+      if (name.rfind(p, 0) == 0) return true;
+    }
+    return false;
+  };
+  std::vector<StuckFault> out;
+  out.reserve(c.net_count() * 2);
+  for (NetId n = 0; n < c.net_count(); ++n) {
+    if (excluded(n)) continue;
+    if (tied[n] != Logic::k0) out.push_back({n, Logic::k0});
+    if (tied[n] != Logic::k1) out.push_back({n, Logic::k1});
+  }
+  return out;
+}
+
+std::vector<Logic> apply_pattern(Circuit& c, const ScanChain& chain, const ScanPattern& p) {
+  chain.load_flop_order(c, p.chain_load);
+  for (const auto& [net, v] : p.pi_values) c.set_input(net, v);
+  for (int k = 0; k < p.capture_cycles; ++k) chain.capture(c);
+  return chain.read_flop_order(c);
+}
+
+namespace {
+
+enum class Detect { kNone, kPossible, kHard };
+
+Detect classify(const std::vector<Logic>& good, const std::vector<Logic>& bad) {
+  Detect d = Detect::kNone;
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    if (!is_known(good[i])) continue;
+    if (is_known(bad[i])) {
+      if (good[i] != bad[i]) return Detect::kHard;
+    } else {
+      d = Detect::kPossible;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+StuckCampaignResult run_stuck_campaign(Circuit& c, const ScanChain& chain,
+                                       const std::vector<ScanPattern>& patterns,
+                                       const std::vector<StuckFault>& faults) {
+  // Fault-free responses, one per pattern.
+  c.clear_faults();
+  std::vector<std::vector<Logic>> golden;
+  golden.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    c.power_on();
+    golden.push_back(apply_pattern(c, chain, p));
+  }
+
+  StuckCampaignResult result;
+  for (const auto& f : faults) {
+    Detect best = Detect::kNone;
+    c.set_stuck(f.net, f.value);
+    for (std::size_t pi = 0; pi < patterns.size() && best != Detect::kHard; ++pi) {
+      c.power_on();
+      const auto resp = apply_pattern(c, chain, patterns[pi]);
+      const Detect d = classify(golden[pi], resp);
+      if (static_cast<int>(d) > static_cast<int>(best)) best = d;
+    }
+    c.clear_faults();
+    result.hard.add(best == Detect::kHard);
+    result.combined.add(best != Detect::kNone);
+    if (best == Detect::kNone) result.undetected.push_back(f);
+  }
+  return result;
+}
+
+std::vector<Logic> apply_pattern_multi(Circuit& c, const std::vector<const ScanChain*>& chains,
+                                       const MultiScanPattern& p,
+                                       const std::vector<NetId>& observe_nets) {
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains[i]->load_flop_order(c, p.chain_loads.at(i));
+  }
+  for (const auto& [net, v] : p.pi_values) c.set_input(net, v);
+  std::vector<Logic> out;
+  for (int k = 0; k < p.capture_cycles; ++k) {
+    chains.front()->capture(c);
+    // Primary outputs are strobed on every functional cycle.
+    for (const NetId n : observe_nets) out.push_back(c.value(n));
+  }
+  for (const auto* chain : chains) {
+    const auto r = chain->read_flop_order(c);
+    out.insert(out.end(), r.begin(), r.end());
+  }
+  return out;
+}
+
+StuckCampaignResult run_stuck_campaign_multi(Circuit& c,
+                                             const std::vector<const ScanChain*>& chains,
+                                             const std::vector<MultiScanPattern>& patterns,
+                                             const std::vector<StuckFault>& faults,
+                                             const std::vector<NetId>& observe_nets) {
+  c.clear_faults();
+  std::vector<std::vector<Logic>> golden;
+  golden.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    c.power_on();
+    golden.push_back(apply_pattern_multi(c, chains, p, observe_nets));
+  }
+
+  StuckCampaignResult result;
+  for (const auto& f : faults) {
+    Detect best = Detect::kNone;
+    c.set_stuck(f.net, f.value);
+    for (std::size_t pi = 0; pi < patterns.size() && best != Detect::kHard; ++pi) {
+      c.power_on();
+      const auto resp = apply_pattern_multi(c, chains, patterns[pi], observe_nets);
+      const Detect d = classify(golden[pi], resp);
+      if (static_cast<int>(d) > static_cast<int>(best)) best = d;
+    }
+    c.clear_faults();
+    result.hard.add(best == Detect::kHard);
+    result.combined.add(best != Detect::kNone);
+    if (best == Detect::kNone) result.undetected.push_back(f);
+  }
+  return result;
+}
+
+std::vector<MultiScanPattern> random_patterns_multi(const std::vector<const ScanChain*>& chains,
+                                                    const std::vector<NetId>& pis,
+                                                    std::size_t count, util::Pcg32& rng) {
+  std::vector<MultiScanPattern> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    MultiScanPattern p;
+    for (const auto* chain : chains) {
+      std::vector<Logic> load(chain->length());
+      for (auto& b : load) b = from_bool(rng.next_bool());
+      p.chain_loads.push_back(std::move(load));
+    }
+    for (const NetId pi : pis) p.pi_values.emplace_back(pi, from_bool(rng.next_bool()));
+    p.capture_cycles = 1 + static_cast<int>(rng.next_below(3));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<ScanPattern> random_patterns(const Circuit& c, const ScanChain& chain,
+                                         const std::vector<NetId>& pis, std::size_t count,
+                                         util::Pcg32& rng) {
+  (void)c;
+  std::vector<ScanPattern> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    ScanPattern p;
+    p.chain_load.resize(chain.length());
+    for (auto& b : p.chain_load) b = from_bool(rng.next_bool());
+    for (const NetId pi : pis) p.pi_values.emplace_back(pi, from_bool(rng.next_bool()));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace lsl::digital

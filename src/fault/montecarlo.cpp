@@ -1,0 +1,31 @@
+#include "fault/montecarlo.hpp"
+
+#include <cmath>
+
+namespace lsl::fault {
+
+double vt_sigma(const spice::Mosfet& m, const MismatchSpec& spec) {
+  return spec.a_vt / std::sqrt(m.w * m.l);
+}
+
+std::size_t apply_vt_mismatch(spice::Netlist& nl, const std::vector<std::string>& prefixes,
+                              const MismatchSpec& spec, util::Pcg32& rng) {
+  auto matches = [&](const std::string& name) {
+    if (prefixes.empty()) return true;
+    for (const auto& p : prefixes) {
+      if (name.rfind(p, 0) == 0) return true;
+    }
+    return false;
+  };
+  std::size_t count = 0;
+  for (auto& dev : nl.devices()) {
+    if (!dev.enabled || !matches(dev.name)) continue;
+    if (auto* mos = std::get_if<spice::Mosfet>(&dev.impl)) {
+      mos->vt_delta = vt_sigma(*mos, spec) * rng.next_gaussian();
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace lsl::fault

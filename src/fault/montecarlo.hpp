@@ -1,0 +1,32 @@
+// Manufacturing-mismatch Monte Carlo: Pelgrom-model threshold-voltage
+// variation applied per transistor. The paper's DC-test comparators rely
+// on a *deliberate* geometric offset being "sufficient to overcome any
+// mismatch due to the manufacturing process" — this utility is how that
+// claim gets checked on the reproduction's netlists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::fault {
+
+struct MismatchSpec {
+  /// Pelgrom VT-matching coefficient (V * m). ~3.5 mV*um for a
+  /// 130 nm-class process.
+  double a_vt = 3.5e-9;
+};
+
+/// Applies an independent Gaussian vt_delta to every enabled MOSFET
+/// whose name starts with one of `prefixes` (empty = all), with
+/// sigma = a_vt / sqrt(W * L) per device. Returns the number of devices
+/// perturbed. Deltas REPLACE any prior vt_delta.
+std::size_t apply_vt_mismatch(spice::Netlist& nl, const std::vector<std::string>& prefixes,
+                              const MismatchSpec& spec, util::Pcg32& rng);
+
+/// Per-device sigma for reporting.
+double vt_sigma(const spice::Mosfet& m, const MismatchSpec& spec);
+
+}  // namespace lsl::fault

@@ -1,0 +1,34 @@
+#include "link/domain_crossing.hpp"
+
+#include <cmath>
+
+namespace lsl::link {
+
+CrossingDecision decide_crossing(double sampling_offset, double period) {
+  CrossingDecision d;
+  const double s = std::fmod(std::fmod(sampling_offset, period) + period, period);
+
+  // Distance from the sample to the next rising phi_rx edge (at period).
+  const double to_full_edge = period - s;
+  // Distance to the next falling edge (at period/2, or 3*period/2).
+  const double to_half_edge = s < period / 2.0 ? period / 2.0 - s : 3.0 * period / 2.0 - s;
+
+  // The paper's rule: if the sampling clock is less than half a cycle
+  // from the receiver clock, retime on the inverted clock first.
+  if (to_full_edge < period / 2.0) {
+    d.mode = RetimeMode::kHalfCycle;
+    d.slack = to_half_edge;
+    d.latency_cycles = 0.5;
+  } else {
+    d.mode = RetimeMode::kFullCycle;
+    d.slack = to_full_edge;
+    d.latency_cycles = 1.0;
+  }
+  return d;
+}
+
+bool crossing_is_safe(const CrossingDecision& d, double min_slack) {
+  return d.slack >= min_slack;
+}
+
+}  // namespace lsl::link

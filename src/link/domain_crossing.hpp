@@ -1,0 +1,38 @@
+// Mesochronous domain crossing at the receiver.
+//
+// Once the synchronizer locks, the coarse control word tells (to within
+// the VCDL range) where the sampling clock sits relative to the receiver
+// clock. Data sampled close to the receiver clock edge would violate
+// setup/hold when retimed directly, so the paper inserts a half-cycle
+// delay (clocking the final flop on the inverted receiver clock) when
+// the sampling instant is within half a cycle of the receiver edge.
+#pragma once
+
+#include <cstddef>
+
+namespace lsl::link {
+
+/// Decision for the final retiming flop.
+enum class RetimeMode {
+  kFullCycle,  // final flop on phi_rx
+  kHalfCycle,  // final flop on the inverted phi_rx (adds half a cycle)
+};
+
+struct CrossingDecision {
+  RetimeMode mode = RetimeMode::kFullCycle;
+  /// Timing slack from the sampling instant to the chosen capture edge.
+  double slack = 0.0;
+  /// Total retime latency added, in cycles (0.5 or 1.0).
+  double latency_cycles = 1.0;
+};
+
+/// Decides the retime mode from the locked sampling offset.
+/// `sampling_offset` is the sampling instant within the receiver clock
+/// period [0, period); the receiver clock edge is at 0 (== period).
+CrossingDecision decide_crossing(double sampling_offset, double period);
+
+/// Margin check used in tests: true when the chosen edge leaves at least
+/// `min_slack` before the capture edge.
+bool crossing_is_safe(const CrossingDecision& d, double min_slack);
+
+}  // namespace lsl::link

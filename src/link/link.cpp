@@ -1,0 +1,74 @@
+#include "link/link.hpp"
+
+#include <cmath>
+
+namespace lsl::link {
+
+Link::Link(const LinkParams& p) : params_(p) {}
+
+double Link::eye_center() const {
+  // Channel group delay to the eye center: measure once on the healthy
+  // waveform model.
+  const behav::EyeResult eye = behav::analyze_eye(params_.channel, 600);
+  double center = params_.latency + eye.best_phase_frac * params_.channel.ui;
+  if (params_.tx_half_cycle_delay) center += 0.5 * params_.channel.ui;
+  const double period = params_.sync.dll.clock_period;
+  return std::fmod(std::fmod(center, period) + period, period);
+}
+
+TrafficResult Link::run_traffic(std::size_t n_bits, util::PrbsOrder order, std::uint64_t seed) {
+  TrafficResult res;
+
+  // --- acquisition ------------------------------------------------------
+  behav::Synchronizer sync(params_.sync, eye_center(), params_.vc0, params_.phase0);
+  util::Pcg32 rng(seed);
+  res.sync = sync.run(params_.acquisition_ui, rng);
+  const double period = params_.sync.dll.clock_period;
+  const double sample_offset =
+      sync.sampling_offset(res.sync.final_phase, res.sync.final_vc);
+  res.crossing = decide_crossing(sample_offset, period);
+  if (!res.sync.locked) {
+    // Count traffic as failed: every bit is suspect without lock.
+    res.bits = n_bits;
+    res.errors = n_bits;
+    return res;
+  }
+
+  // --- traffic ----------------------------------------------------------
+  // Sample the waveform at the locked phase. The sampling instant within
+  // the UI is (eye_center + residual phase error) in channel coordinates.
+  behav::Channel ch(params_.channel, seed ^ 0x9e3779b97f4a7c15ULL);
+  util::PrbsGenerator prbs(order, static_cast<std::uint32_t>(seed) | 1u);
+
+  // Phase error of the locked loop: sample = eye_center - err.
+  const double err = res.sync.final_phase_error;
+  const behav::EyeResult eye = behav::analyze_eye(params_.channel, 600);
+  double phase_in_ui = eye.best_phase_frac - err / params_.channel.ui;
+  phase_in_ui = phase_in_ui - std::floor(phase_in_ui);
+  const auto sample_idx = static_cast<std::size_t>(
+      std::fmod(phase_in_ui * params_.channel.oversample, params_.channel.oversample));
+
+  const std::size_t warmup = 32;
+  for (std::size_t i = 0; i < n_bits + warmup; ++i) {
+    const bool b = prbs.next_bit();
+    ch.push_bit(b);
+    if (i < warmup) continue;
+    const double v = ch.last_ui_waveform()[sample_idx];
+    const bool decided = v > params_.slicer_offset;
+    ++res.bits;
+    if (decided != b) ++res.errors;
+  }
+  return res;
+}
+
+BistVerdict Link::run_bist(std::uint64_t seed) {
+  BistVerdict v;
+  const TrafficResult t = run_traffic(4096, util::PrbsOrder::kPrbs15, seed);
+  v.locked_in_budget = t.sync.locked && t.sync.lock_time <= 2e-6;
+  v.lock_counter_ok = !t.sync.lock_counter_saturated;
+  v.cp_bist_ok = !t.sync.cp_bist_flag;
+  v.data_ok = t.sync.locked && t.errors == 0;
+  return v;
+}
+
+}  // namespace lsl::link

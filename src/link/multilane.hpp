@@ -1,0 +1,65 @@
+// Multi-lane link: a wide on-chip bus of repeaterless lanes, each with
+// its own synchronizing receiver, sharing one clock divider as the paper
+// notes ("the divider ... can be shared across multiple such receivers
+// in the chip and tested separately").
+//
+// Each lane sees its own latency (routing skew), so each locks to its
+// own coarse phase — the whole point of per-lane mesochronous
+// synchronization. The test scheduler models production test time:
+// scan procedures serialize on the shared scan infrastructure, while
+// the at-speed BIST can run on all lanes concurrently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "link/link.hpp"
+
+namespace lsl::link {
+
+struct MultiLaneParams {
+  std::size_t lanes = 8;
+  LinkParams base;
+  /// Per-lane routing skew added to the base latency (s per lane index).
+  double skew_per_lane = 55e-12;
+  /// Scan test cost per lane (s): patterns x chain shifts at 100 MHz.
+  double scan_time_per_lane = 10 * 26 * 10e-9;
+  /// BIST run length per lane (s): the paper's 2 us budget plus readout.
+  double bist_time_per_lane = 2.5e-6;
+};
+
+struct LaneResult {
+  std::size_t lane = 0;
+  BistVerdict bist;
+  TrafficResult traffic;
+  std::size_t locked_phase = 0;
+};
+
+struct MultiLaneReport {
+  std::vector<LaneResult> lanes;
+  bool all_pass = false;
+  /// Distinct coarse phases chosen across lanes (skew really absorbed).
+  std::size_t distinct_phases = 0;
+  /// Production test time under the two schedules.
+  double test_time_sequential = 0.0;  // scan then BIST, lane by lane
+  double test_time_scheduled = 0.0;   // scan serialized, BIST concurrent
+};
+
+class MultiLaneLink {
+ public:
+  explicit MultiLaneLink(const MultiLaneParams& p = {});
+
+  /// Per-lane parameters (base + this lane's skew).
+  LinkParams lane_params(std::size_t lane) const;
+
+  /// Runs BIST and a traffic burst on every lane; fills the scheduling
+  /// figures.
+  MultiLaneReport test_all(std::size_t traffic_bits = 2000, std::uint64_t seed = 1) const;
+
+  const MultiLaneParams& params() const { return params_; }
+
+ private:
+  MultiLaneParams params_;
+};
+
+}  // namespace lsl::link

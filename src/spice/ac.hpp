@@ -1,0 +1,48 @@
+// Small-signal AC analysis: linearizes the circuit at its DC operating
+// point (MOSFETs become their gm/gds stamps, capacitors become jwC) and
+// solves the complex MNA system per frequency point. Used to
+// characterize the interconnect transfer function — the RC pole and the
+// feed-forward equalizer's compensating zero that the paper's link
+// design rests on.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+
+namespace lsl::spice {
+
+struct AcOptions {
+  DcOptions op;  // operating-point solve settings
+};
+
+struct AcResult {
+  bool ok = false;
+  std::vector<double> freq;  // Hz
+  /// probe node name -> complex voltage per frequency point.
+  std::unordered_map<std::string, std::vector<std::complex<double>>> v;
+
+  const std::vector<std::complex<double>>& probe(const std::string& name) const;
+  /// |V| at point i.
+  double mag(const std::string& name, std::size_t i) const;
+  /// 20*log10|V| at point i.
+  double mag_db(const std::string& name, std::size_t i) const;
+  /// Phase in degrees at point i.
+  double phase_deg(const std::string& name, std::size_t i) const;
+};
+
+/// Runs AC analysis with a unit AC drive superposed on VSource
+/// `ac_source_name` (all other independent sources are AC grounds).
+/// `probes` empty records every node.
+AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
+                const std::vector<double>& freqs, const std::vector<std::string>& probes = {},
+                const AcOptions& opts = {});
+
+/// Log-spaced frequency grid [f_lo, f_hi] with `points` entries.
+std::vector<double> log_frequencies(double f_lo, double f_hi, std::size_t points);
+
+}  // namespace lsl::spice

@@ -1,0 +1,136 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/matrix.hpp"
+#include "spice/stamp.hpp"
+#include "util/log.hpp"
+
+namespace lsl::spice {
+
+double DcResult::v(const Netlist& nl, NodeId node) const {
+  return node_voltage(nl, x, node);
+}
+
+double DcResult::v(const Netlist& nl, const std::string& node_name) const {
+  const auto id = nl.find_node(node_name);
+  if (!id.has_value()) throw std::invalid_argument("unknown node: " + node_name);
+  return node_voltage(nl, x, *id);
+}
+
+double DcResult::i(const Netlist& nl, const std::string& device_name) const {
+  const auto di = nl.find_device(device_name);
+  if (!di.has_value()) throw std::invalid_argument("unknown device: " + device_name);
+  return x.at(nl.branch_index(*di));
+}
+
+namespace {
+
+/// One damped Newton loop at fixed gmin / source scale. Returns true on
+/// convergence; x is updated in place with the best iterate either way.
+bool newton_loop(const Netlist& nl, double gmin, double source_scale, const DcOptions& opts,
+                 std::vector<double>& x, int& iterations_used) {
+  Matrix g;
+  std::vector<double> b;
+  std::vector<double> x_new;
+  StampContext ctx;
+  ctx.nl = &nl;
+  ctx.gmin = gmin;
+  ctx.source_scale = source_scale;
+
+  const std::size_t n = nl.unknown_count();
+  if (x.size() != n) x.assign(n, 0.0);
+  const std::size_t n_volts = nl.node_count() - 1;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    ++iterations_used;
+    stamp_system(ctx, x, g, b);
+    if (!lu_solve(g, b, x_new)) return false;
+
+    // Damp voltage updates; branch currents follow freely.
+    double max_dv = 0.0;
+    for (std::size_t k = 0; k < n_volts; ++k) {
+      double dv = x_new[k] - x[k];
+      max_dv = std::max(max_dv, std::fabs(dv));
+      dv = std::clamp(dv, -opts.damping_limit, opts.damping_limit);
+      x[k] += dv;
+    }
+    for (std::size_t k = n_volts; k < n; ++k) x[k] = x_new[k];
+
+    if (max_dv < opts.abs_tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
+  nl.reindex();
+  DcResult result;
+  result.x = opts.initial_guess;
+
+  // Plain Newton from the supplied guess first: cheap and usually enough
+  // when warm-starting sweeps.
+  if (!result.x.empty() &&
+      newton_loop(nl, opts.gmin_final, 1.0, opts, result.x, result.iterations)) {
+    result.converged = true;
+    return result;
+  }
+
+  // gmin stepping: solve an easy (heavily leaky) circuit, then tighten.
+  result.x.assign(nl.unknown_count(), 0.0);
+  bool ok = true;
+  for (double gmin = opts.gmin_start; gmin >= opts.gmin_final * 0.99; gmin *= 0.1) {
+    ok = newton_loop(nl, gmin, 1.0, opts, result.x, result.iterations);
+    if (!ok) break;
+  }
+  if (ok) {
+    result.converged = true;
+    return result;
+  }
+
+  if (opts.allow_source_stepping) {
+    // Source stepping homotopy: ramp all independent sources from 0.
+    result.x.assign(nl.unknown_count(), 0.0);
+    ok = true;
+    for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+      ok = newton_loop(nl, opts.gmin_final, std::min(scale, 1.0), opts, result.x,
+                       result.iterations);
+      if (!ok) break;
+    }
+    if (ok) {
+      result.converged = true;
+      return result;
+    }
+  }
+
+  util::log_warn("solve_dc: failed to converge (" + std::to_string(result.iterations) +
+                 " total Newton iterations)");
+  result.converged = false;
+  return result;
+}
+
+std::vector<DcResult> dc_sweep(const Netlist& nl, const std::string& vsrc_name,
+                               const std::vector<double>& values, const DcOptions& opts) {
+  const auto di = nl.find_device(vsrc_name);
+  if (!di.has_value()) throw std::invalid_argument("unknown source: " + vsrc_name);
+
+  Netlist work = nl;  // value copy; we mutate the source value per point
+  auto* src = std::get_if<VSource>(&work.device(*di).impl);
+  if (src == nullptr) throw std::invalid_argument(vsrc_name + " is not a VSource");
+
+  std::vector<DcResult> out;
+  out.reserve(values.size());
+  DcOptions point_opts = opts;
+  for (const double v : values) {
+    src->volts = v;
+    DcResult r = solve_dc(work, point_opts);
+    point_opts.initial_guess = r.x;  // warm start the next point
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace lsl::spice

@@ -1,0 +1,48 @@
+// DC operating-point solver: damped Newton–Raphson over the MNA system
+// with gmin stepping, and source stepping as a fallback homotopy. Faulted
+// netlists (floating gates, rail shorts) are exactly the hard cases the
+// continuation methods are there for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace lsl::spice {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double abs_tol = 1e-9;        // volts; convergence on max |dV|
+  double damping_limit = 0.4;   // max per-iteration voltage step (V)
+  double gmin_final = 1e-12;    // target gmin after stepping
+  double gmin_start = 1e-3;     // initial gmin for stepping
+  bool allow_source_stepping = true;
+  /// Optional initial guess for the MNA vector (e.g. previous solve).
+  std::vector<double> initial_guess;
+};
+
+struct DcResult {
+  bool converged = false;
+  /// MNA solution: node voltages then branch currents.
+  std::vector<double> x;
+  int iterations = 0;
+
+  /// Node voltage lookup (requires the netlist used for the solve).
+  double v(const Netlist& nl, NodeId node) const;
+  double v(const Netlist& nl, const std::string& node_name) const;
+  /// Branch current through voltage-source-like device `name`
+  /// (positive current flows p -> n through the source).
+  double i(const Netlist& nl, const std::string& device_name) const;
+};
+
+/// Solves the DC operating point.
+DcResult solve_dc(const Netlist& nl, const DcOptions& opts = {});
+
+/// Sweeps the value of voltage source `vsrc_name` over `values`, warm
+/// starting each point from the previous solution. Returns one DcResult
+/// per point (unconverged points flagged, not dropped).
+std::vector<DcResult> dc_sweep(const Netlist& nl, const std::string& vsrc_name,
+                               const std::vector<double>& values, const DcOptions& opts = {});
+
+}  // namespace lsl::spice

@@ -1,0 +1,84 @@
+#include "spice/export.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace lsl::spice {
+
+std::string spice_node_name(const Netlist& nl, NodeId id) {
+  if (id == kGround) return "0";
+  std::string out;
+  for (const char c : nl.node_name(id)) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+std::string sanitize_device(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+std::string eng(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string export_spice(const Netlist& nl, const ExportOptions& opts) {
+  std::ostringstream os;
+  os << "* " << opts.title << "\n";
+
+  if (opts.with_models) {
+    const ModelCard& m = nl.model();
+    os << ".MODEL lsl_nmos NMOS (LEVEL=1 KP=" << eng(m.kp_n) << " VTO=" << eng(m.vt_n)
+       << " LAMBDA=" << eng(m.lambda_n) << ")\n";
+    os << ".MODEL lsl_pmos PMOS (LEVEL=1 KP=" << eng(m.kp_p) << " VTO=" << eng(m.vt_p)
+       << " LAMBDA=" << eng(m.lambda_p) << ")\n";
+  }
+
+  for (const auto& dev : nl.devices()) {
+    std::ostringstream line;
+    const std::string dn = sanitize_device(dev.name);
+    if (const auto* r = std::get_if<Resistor>(&dev.impl)) {
+      line << "R" << dn << " " << spice_node_name(nl, r->a) << " " << spice_node_name(nl, r->b)
+           << " " << eng(r->ohms);
+    } else if (const auto* c = std::get_if<Capacitor>(&dev.impl)) {
+      line << "C" << dn << " " << spice_node_name(nl, c->a) << " " << spice_node_name(nl, c->b)
+           << " " << eng(c->farads);
+    } else if (const auto* vs = std::get_if<VSource>(&dev.impl)) {
+      line << "V" << dn << " " << spice_node_name(nl, vs->p) << " " << spice_node_name(nl, vs->n)
+           << " DC " << eng(vs->volts);
+    } else if (const auto* is = std::get_if<ISource>(&dev.impl)) {
+      line << "I" << dn << " " << spice_node_name(nl, is->p) << " " << spice_node_name(nl, is->n)
+           << " DC " << eng(is->amps);
+    } else if (const auto* e = std::get_if<Vcvs>(&dev.impl)) {
+      line << "E" << dn << " " << spice_node_name(nl, e->p) << " " << spice_node_name(nl, e->n)
+           << " " << spice_node_name(nl, e->cp) << " " << spice_node_name(nl, e->cn) << " "
+           << eng(e->gain);
+    } else if (const auto* m = std::get_if<Mosfet>(&dev.impl)) {
+      // Bulk tied to the source rail (the model's implicit convention).
+      const char* model = m->type == MosType::kNmos ? "lsl_nmos" : "lsl_pmos";
+      line << "M" << dn << " " << spice_node_name(nl, m->d) << " " << spice_node_name(nl, m->g)
+           << " " << spice_node_name(nl, m->s) << " " << spice_node_name(nl, m->s) << " " << model
+           << " W=" << eng(m->w) << " L=" << eng(m->l);
+    }
+    if (!dev.enabled) {
+      if (opts.keep_disabled_as_comments) os << "* (disabled) " << line.str() << "\n";
+      continue;
+    }
+    os << line.str() << "\n";
+  }
+  os << ".END\n";
+  return os.str();
+}
+
+}  // namespace lsl::spice

@@ -1,0 +1,27 @@
+// SPICE-deck export of a Netlist: lets any external simulator
+// cross-check the circuits this library builds (and makes faulted
+// netlists diffable/debuggable as text).
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace lsl::spice {
+
+struct ExportOptions {
+  std::string title = "lsl netlist";
+  /// Include a .MODEL card pair matching the level-1 ModelCard.
+  bool with_models = true;
+  /// Comment out disabled devices instead of dropping them.
+  bool keep_disabled_as_comments = true;
+};
+
+/// Renders the netlist as a SPICE deck (one device per line, node names
+/// sanitized to SPICE-friendly identifiers).
+std::string export_spice(const Netlist& nl, const ExportOptions& opts = {});
+
+/// Sanitizes a node name for SPICE (ground -> 0, punctuation -> '_').
+std::string spice_node_name(const Netlist& nl, NodeId id);
+
+}  // namespace lsl::spice

@@ -1,0 +1,62 @@
+#include "spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsl::spice {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x, double pivot_floor) {
+  const std::size_t n = a.rows();
+  if (n == 0 || a.cols() != n || b.size() != n) return false;
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  // Doolittle LU with partial pivoting, factoring in place.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::fabs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double cand = std::fabs(a.at(r, k));
+      if (cand > best) {
+        best = cand;
+        piv = r;
+      }
+    }
+    if (best < pivot_floor) return false;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(piv, c));
+      std::swap(b[k], b[piv]);
+      std::swap(perm[k], perm[piv]);
+    }
+    const double inv_pivot = 1.0 / a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) * inv_pivot;
+      if (factor == 0.0) continue;
+      a.at(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= factor * a.at(k, c);
+      b[r] -= factor * b[k];
+    }
+  }
+
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * x[c];
+    x[ri] = sum / a.at(ri, ri);
+  }
+  return true;
+}
+
+}  // namespace lsl::spice

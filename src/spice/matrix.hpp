@@ -1,0 +1,38 @@
+// Dense linear algebra for the MNA solver. Circuit matrices in this
+// project are small (tens of unknowns per analog cell), so dense LU with
+// partial pivoting is both simpler and faster than a sparse package.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsl::spice {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void fill(double v);
+  void resize(std::size_t rows, std::size_t cols);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place via LU with partial pivoting.
+/// Returns false if the matrix is numerically singular (pivot below
+/// `pivot_floor`); `x` is untouched in that case.
+bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x,
+              double pivot_floor = 1e-18);
+
+}  // namespace lsl::spice

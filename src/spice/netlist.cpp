@@ -1,0 +1,86 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace lsl::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_by_name_.emplace("0", kGround);
+}
+
+NodeId Netlist::node(const std::string& name) {
+  const auto it = node_by_name_.find(name);
+  if (it != node_by_name_.end()) return it->second;
+  const NodeId id = node_names_.size();
+  node_names_.push_back(name);
+  node_by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+  const auto it = node_by_name_.find(name);
+  if (it == node_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Netlist::fresh_node(const std::string& hint) {
+  for (;;) {
+    const std::string name = hint + "#" + std::to_string(fresh_counter_++);
+    if (node_by_name_.find(name) == node_by_name_.end()) return node(name);
+  }
+}
+
+const std::string& Netlist::node_name(NodeId id) const { return node_names_.at(id); }
+
+std::size_t Netlist::add(std::string name, DeviceImpl impl) {
+  if (device_by_name_.count(name) != 0) {
+    throw std::invalid_argument("duplicate device name: " + name);
+  }
+  const std::size_t idx = devices_.size();
+  device_by_name_.emplace(name, idx);
+  devices_.push_back(Device{std::move(name), std::move(impl), true});
+  index_valid_ = false;
+  return idx;
+}
+
+std::optional<std::size_t> Netlist::find_device(const std::string& name) const {
+  const auto it = device_by_name_.find(name);
+  if (it == device_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::reindex() const {
+  branch_of_device_.assign(devices_.size(), static_cast<std::size_t>(-1));
+  std::size_t next = node_names_.size() - 1;  // voltages occupy [0, N-2]
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const Device& d = devices_[i];
+    if (!d.enabled) continue;
+    if (std::holds_alternative<VSource>(d.impl) || std::holds_alternative<Vcvs>(d.impl)) {
+      branch_of_device_[i] = next++;
+    }
+  }
+  n_unknowns_ = next;
+  index_valid_ = true;
+}
+
+std::size_t Netlist::unknown_count() const {
+  if (!index_valid_) reindex();
+  return n_unknowns_;
+}
+
+std::size_t Netlist::voltage_index(NodeId n) const {
+  if (n == kGround) throw std::invalid_argument("ground has no voltage unknown");
+  return n - 1;
+}
+
+std::size_t Netlist::branch_index(std::size_t device_idx) const {
+  if (!index_valid_) reindex();
+  const std::size_t b = branch_of_device_.at(device_idx);
+  if (b == static_cast<std::size_t>(-1)) {
+    throw std::invalid_argument("device has no branch current: " + devices_.at(device_idx).name);
+  }
+  return b;
+}
+
+}  // namespace lsl::spice

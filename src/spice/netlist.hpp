@@ -1,0 +1,154 @@
+// Circuit netlist representation for the MNA engine.
+//
+// Devices are plain value types held in a std::variant, so a Netlist has
+// full value semantics: the fault injector copies the golden netlist and
+// edits the copy (insert series opens, bridge shorts) without any
+// clone-hierarchy machinery. Node 0 is always ground.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace lsl::spice {
+
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// Two-terminal linear resistor.
+struct Resistor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 1.0;
+};
+
+/// Two-terminal linear capacitor. Open circuit at DC.
+struct Capacitor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 1e-15;
+};
+
+/// Independent voltage source; adds one MNA branch-current unknown.
+/// In transient analysis the value can be overridden per time point via
+/// a waveform callback registered on the simulator.
+struct VSource {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  double volts = 0.0;
+};
+
+/// Independent current source; positive current flows from `p` through
+/// the source to `n` (SPICE convention).
+struct ISource {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  double amps = 0.0;
+};
+
+/// Voltage-controlled voltage source (E element): v(p,n) = gain * v(cp,cn).
+/// Used for the charge-pump balancing amplifier.
+struct Vcvs {
+  NodeId p = kGround;
+  NodeId n = kGround;
+  NodeId cp = kGround;
+  NodeId cn = kGround;
+  double gain = 1.0;
+};
+
+enum class MosType { kNmos, kPmos };
+
+/// Square-law (SPICE level-1) MOSFET, bulk tied to the rail implicitly.
+/// `vt_delta` lets a cell model deliberate threshold skew on top of the
+/// model card (used nowhere in the golden design — the paper's offsets
+/// come from W/L mismatch — but exposed for experiments).
+struct Mosfet {
+  NodeId d = kGround;
+  NodeId g = kGround;
+  NodeId s = kGround;
+  MosType type = MosType::kNmos;
+  double w = 0.5e-6;
+  double l = 0.5e-6;
+  double vt_delta = 0.0;
+};
+
+using DeviceImpl = std::variant<Resistor, Capacitor, VSource, ISource, Vcvs, Mosfet>;
+
+/// Named device instance. `enabled == false` removes the device from all
+/// stamps — used by tests and by open-fault edits that delete elements.
+struct Device {
+  std::string name;
+  DeviceImpl impl;
+  bool enabled = true;
+};
+
+/// Process model card for the square-law MOSFETs. Defaults approximate a
+/// 130 nm-class process at 1.2 V (the paper's UMC 130 nm operating point):
+/// |VT| ~ 0.34/0.36 V and transconductance factors scaled so that a
+/// 0.5u/0.5u device carries tens of microamps in saturation.
+struct ModelCard {
+  double kp_n = 320e-6;     // NMOS mu*Cox (A/V^2)
+  double kp_p = 110e-6;     // PMOS mu*Cox (A/V^2)
+  double vt_n = 0.34;       // NMOS threshold (V)
+  double vt_p = -0.36;      // PMOS threshold (V)
+  double lambda_n = 0.15;   // NMOS channel-length modulation (1/V)
+  double lambda_p = 0.18;   // PMOS channel-length modulation (1/V)
+};
+
+/// Flat netlist with string-named nodes (node 0 = "0" = ground).
+class Netlist {
+ public:
+  Netlist();
+
+  /// Returns the node with this name, creating it if absent.
+  NodeId node(const std::string& name);
+  /// Looks up an existing node; nullopt if never created.
+  std::optional<NodeId> find_node(const std::string& name) const;
+  /// Creates a fresh node with a unique generated name (fault edits).
+  NodeId fresh_node(const std::string& hint);
+  const std::string& node_name(NodeId id) const;
+  std::size_t node_count() const { return node_names_.size(); }
+
+  /// Adds a device; returns its index. Names must be unique.
+  std::size_t add(std::string name, DeviceImpl impl);
+
+  /// Device access for analyses and fault edits.
+  std::vector<Device>& devices() { return devices_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  Device& device(std::size_t i) { return devices_.at(i); }
+  const Device& device(std::size_t i) const { return devices_.at(i); }
+  /// Index of the device with this name; nullopt if absent.
+  std::optional<std::size_t> find_device(const std::string& name) const;
+
+  ModelCard& model() { return model_; }
+  const ModelCard& model() const { return model_; }
+
+  /// Number of MNA unknowns: node voltages (excluding ground) plus one
+  /// branch current per enabled VSource/Vcvs.
+  std::size_t unknown_count() const;
+  /// MNA index of a node voltage (node must not be ground).
+  std::size_t voltage_index(NodeId n) const;
+  /// MNA index of the branch current of device `i` (must be V/E source).
+  std::size_t branch_index(std::size_t device_idx) const;
+
+  /// Recomputes branch-current index assignments. Called automatically by
+  /// the analyses; cheap, so also safe to call after edits.
+  void reindex() const;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_by_name_;
+  std::vector<Device> devices_;
+  std::unordered_map<std::string, std::size_t> device_by_name_;
+  ModelCard model_;
+  std::size_t fresh_counter_ = 0;
+
+  mutable std::vector<std::size_t> branch_of_device_;  // device idx -> MNA idx
+  mutable std::size_t n_unknowns_ = 0;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace lsl::spice

@@ -1,0 +1,205 @@
+#include "spice/stamp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lsl::spice {
+
+namespace {
+
+/// Square-law NMOS-referred evaluation: current f(vgs, vds) for vds >= 0
+/// with partials (f1 = df/dvgs, f2 = df/dvds).
+struct FwdEval {
+  double i = 0.0;
+  double f1 = 0.0;
+  double f2 = 0.0;
+};
+
+FwdEval eval_forward(double beta, double vt, double lambda, double vgs, double vds) {
+  FwdEval r;
+  const double vov = vgs - vt;
+  if (vov <= 0.0) {
+    // Cutoff. A tiny residual conductance smooths the Newton iteration
+    // across the cutoff boundary (subthreshold stand-in).
+    r.i = 0.0;
+    r.f1 = 0.0;
+    r.f2 = 1e-12;
+    return r;
+  }
+  const double clm = 1.0 + lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    r.i = beta * (vov - 0.5 * vds) * vds * clm;
+    r.f1 = beta * vds * clm;
+    r.f2 = beta * ((vov - vds) * clm + (vov - 0.5 * vds) * vds * lambda);
+  } else {
+    // Saturation.
+    const double half = 0.5 * beta * vov * vov;
+    r.i = half * clm;
+    r.f1 = beta * vov * clm;
+    r.f2 = half * lambda;
+  }
+  return r;
+}
+
+}  // namespace
+
+MosEval eval_mosfet(const Mosfet& m, const ModelCard& card, double vd, double vg, double vs) {
+  const bool nmos = m.type == MosType::kNmos;
+  const double kp = nmos ? card.kp_n : card.kp_p;
+  const double vt_mag = std::fabs((nmos ? card.vt_n : card.vt_p) + m.vt_delta);
+  const double lambda = nmos ? card.lambda_n : card.lambda_p;
+  const double beta = kp * (m.w / m.l);
+
+  // Map to an NMOS-referred frame: for PMOS negate all voltages. Within
+  // that frame, if vds < 0 the physical source/drain roles swap.
+  double fd = nmos ? vd : -vd;
+  double fg = nmos ? vg : -vg;
+  double fs = nmos ? vs : -vs;
+
+  bool swapped = false;
+  if (fd < fs) {
+    std::swap(fd, fs);
+    swapped = true;
+  }
+  const FwdEval f = eval_forward(beta, vt_mag, lambda, fg - fs, fd - fs);
+
+  // Current in the NMOS frame flows (frame-drain -> frame-source); undo
+  // the swap and the PMOS negation while propagating derivatives.
+  double i = f.i;
+  // Partials w.r.t. frame terminals.
+  double d_fd = f.f2;
+  double d_fg = f.f1;
+  double d_fs = -f.f1 - f.f2;
+  if (swapped) {
+    i = -i;
+    // Swap roles of the frame drain/source in the derivative vector and
+    // negate (current direction flipped).
+    const double t = d_fd;
+    d_fd = -d_fs;
+    d_fs = -t;
+    d_fg = -d_fg;
+  }
+  MosEval out;
+  if (nmos) {
+    out.id = i;
+    out.d_vd = d_fd;
+    out.d_vg = d_fg;
+    out.d_vs = d_fs;
+  } else {
+    // Frame voltages are negated terminal voltages: d/dv = -d/dfv, and
+    // the frame current direction maps to -(d->s) in real terms.
+    out.id = -i;
+    out.d_vd = d_fd;
+    out.d_vg = d_fg;
+    out.d_vs = d_fs;
+  }
+  return out;
+}
+
+double node_voltage(const Netlist& nl, const std::vector<double>& x, NodeId node) {
+  if (node == kGround) return 0.0;
+  return x.at(nl.voltage_index(node));
+}
+
+void stamp_system(const StampContext& ctx, const std::vector<double>& x, Matrix& g,
+                  std::vector<double>& b) {
+  const Netlist& nl = *ctx.nl;
+  const std::size_t n = nl.unknown_count();
+  g.resize(n, n);
+  b.assign(n, 0.0);
+
+  auto v_of = [&](NodeId node) { return node_voltage(nl, x, node); };
+  auto add_g = [&](NodeId a, NodeId bn, double cond) {
+    if (a != kGround) {
+      g.at(nl.voltage_index(a), nl.voltage_index(a)) += cond;
+      if (bn != kGround) g.at(nl.voltage_index(a), nl.voltage_index(bn)) -= cond;
+    }
+    if (bn != kGround) {
+      g.at(nl.voltage_index(bn), nl.voltage_index(bn)) += cond;
+      if (a != kGround) g.at(nl.voltage_index(bn), nl.voltage_index(a)) -= cond;
+    }
+  };
+  // Current `i` flowing from node p through an element to node n.
+  auto add_i = [&](NodeId p, NodeId nn, double i) {
+    if (p != kGround) b[nl.voltage_index(p)] -= i;
+    if (nn != kGround) b[nl.voltage_index(nn)] += i;
+  };
+
+  // gmin to ground on every non-ground node.
+  for (NodeId node = 1; node < nl.node_count(); ++node) {
+    g.at(nl.voltage_index(node), nl.voltage_index(node)) += ctx.gmin;
+  }
+
+  const auto& devices = nl.devices();
+  for (std::size_t di = 0; di < devices.size(); ++di) {
+    const Device& dev = devices[di];
+    if (!dev.enabled) continue;
+
+    if (const auto* r = std::get_if<Resistor>(&dev.impl)) {
+      if (r->ohms <= 0.0) throw std::invalid_argument("non-positive resistance: " + dev.name);
+      add_g(r->a, r->b, 1.0 / r->ohms);
+    } else if (const auto* c = std::get_if<Capacitor>(&dev.impl)) {
+      if (ctx.dt > 0.0) {
+        const double gc = c->farads / ctx.dt;
+        add_g(c->a, c->b, gc);
+        const double va = ctx.prev_node_v->at(c->a);
+        const double vb = ctx.prev_node_v->at(c->b);
+        // Backward-Euler companion: i(a->b) = gc*(vab - vab_prev); the
+        // history term is a current source b -> a of gc*vab_prev.
+        add_i(c->b, c->a, gc * (va - vb));
+      }
+      // DC: capacitor is open; gmin keeps isolated nodes defined.
+    } else if (const auto* vs = std::get_if<VSource>(&dev.impl)) {
+      const std::size_t bi = nl.branch_index(di);
+      double value = vs->volts;
+      if (ctx.vsrc_override != nullptr) {
+        const auto it = ctx.vsrc_override->find(di);
+        if (it != ctx.vsrc_override->end()) value = it->second;
+      }
+      if (vs->p != kGround) {
+        g.at(nl.voltage_index(vs->p), bi) += 1.0;
+        g.at(bi, nl.voltage_index(vs->p)) += 1.0;
+      }
+      if (vs->n != kGround) {
+        g.at(nl.voltage_index(vs->n), bi) -= 1.0;
+        g.at(bi, nl.voltage_index(vs->n)) -= 1.0;
+      }
+      b[bi] = value * ctx.source_scale;
+    } else if (const auto* is = std::get_if<ISource>(&dev.impl)) {
+      add_i(is->p, is->n, is->amps * ctx.source_scale);
+    } else if (const auto* e = std::get_if<Vcvs>(&dev.impl)) {
+      const std::size_t bi = nl.branch_index(di);
+      if (e->p != kGround) {
+        g.at(nl.voltage_index(e->p), bi) += 1.0;
+        g.at(bi, nl.voltage_index(e->p)) += 1.0;
+      }
+      if (e->n != kGround) {
+        g.at(nl.voltage_index(e->n), bi) -= 1.0;
+        g.at(bi, nl.voltage_index(e->n)) -= 1.0;
+      }
+      if (e->cp != kGround) g.at(bi, nl.voltage_index(e->cp)) -= e->gain;
+      if (e->cn != kGround) g.at(bi, nl.voltage_index(e->cn)) += e->gain;
+    } else if (const auto* m = std::get_if<Mosfet>(&dev.impl)) {
+      const double vd = v_of(m->d);
+      const double vg = v_of(m->g);
+      const double vsv = v_of(m->s);
+      const MosEval ev = eval_mosfet(*m, nl.model(), vd, vg, vsv);
+      // Linearized drain current: id ~= id0 + J . (v - v0). Stamp the
+      // Jacobian terms and fold the affine remainder into the RHS.
+      auto stamp_row = [&](NodeId row, double sign) {
+        if (row == kGround) return;
+        const std::size_t ri = nl.voltage_index(row);
+        if (m->d != kGround) g.at(ri, nl.voltage_index(m->d)) += sign * ev.d_vd;
+        if (m->g != kGround) g.at(ri, nl.voltage_index(m->g)) += sign * ev.d_vg;
+        if (m->s != kGround) g.at(ri, nl.voltage_index(m->s)) += sign * ev.d_vs;
+      };
+      stamp_row(m->d, +1.0);
+      stamp_row(m->s, -1.0);
+      const double ieq = ev.id - ev.d_vd * vd - ev.d_vg * vg - ev.d_vs * vsv;
+      add_i(m->d, m->s, ieq);
+    }
+  }
+}
+
+}  // namespace lsl::spice

@@ -1,0 +1,173 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/matrix.hpp"
+#include "spice/stamp.hpp"
+#include "util/log.hpp"
+
+namespace lsl::spice {
+
+const std::vector<double>& TransientResult::probe(const std::string& name) const {
+  const auto it = v.find(name);
+  if (it == v.end()) throw std::invalid_argument("no such probe: " + name);
+  return it->second;
+}
+
+double TransientResult::final_v(const std::string& name) const {
+  const auto& samples = probe(name);
+  if (samples.empty()) throw std::logic_error("empty probe: " + name);
+  return samples.back();
+}
+
+Waveform dc_wave(double volts) {
+  return [volts](double) { return volts; };
+}
+
+Waveform square_wave(double v_lo, double v_hi, double period, double delay) {
+  return [=](double t) {
+    if (t < delay) return v_lo;
+    const double phase = std::fmod(t - delay, period);
+    return phase < 0.5 * period ? v_hi : v_lo;
+  };
+}
+
+Waveform pwl_wave(std::vector<std::pair<double, double>> points) {
+  return [pts = std::move(points)](double t) {
+    if (pts.empty()) return 0.0;
+    if (t <= pts.front().first) return pts.front().second;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (t <= pts[i].first) {
+        const auto& [t0, v0] = pts[i - 1];
+        const auto& [t1, v1] = pts[i];
+        const double f = (t - t0) / (t1 - t0);
+        return v0 + f * (v1 - v0);
+      }
+    }
+    return pts.back().second;
+  };
+}
+
+namespace {
+
+/// Newton iteration for one transient step (or the t=0 operating point
+/// when ctx.dt == 0).
+bool step_newton(const Netlist& nl, const StampContext& ctx, const DcOptions& opts,
+                 std::vector<double>& x) {
+  Matrix g;
+  std::vector<double> b;
+  std::vector<double> x_new;
+  const std::size_t n = nl.unknown_count();
+  if (x.size() != n) x.assign(n, 0.0);
+  const std::size_t n_volts = nl.node_count() - 1;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    stamp_system(ctx, x, g, b);
+    if (!lu_solve(g, b, x_new)) return false;
+    double max_dv = 0.0;
+    for (std::size_t k = 0; k < n_volts; ++k) {
+      double dv = x_new[k] - x[k];
+      max_dv = std::max(max_dv, std::fabs(dv));
+      dv = std::clamp(dv, -opts.damping_limit, opts.damping_limit);
+      x[k] += dv;
+    }
+    for (std::size_t k = n_volts; k < n; ++k) x[k] = x_new[k];
+    if (max_dv < opts.abs_tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TransientResult run_transient(const Netlist& nl,
+                              const std::unordered_map<std::string, Waveform>& drives,
+                              const TransientOptions& opts) {
+  nl.reindex();
+  TransientResult result;
+
+  // Resolve waveform drives to device indices.
+  std::vector<std::pair<std::size_t, const Waveform*>> drive_list;
+  for (const auto& [name, wave] : drives) {
+    const auto di = nl.find_device(name);
+    if (!di.has_value()) throw std::invalid_argument("unknown drive source: " + name);
+    if (!std::holds_alternative<VSource>(nl.device(*di).impl)) {
+      throw std::invalid_argument(name + " is not a VSource");
+    }
+    drive_list.emplace_back(*di, &wave);
+  }
+
+  // Probe set.
+  std::vector<std::pair<std::string, NodeId>> probes;
+  if (opts.probes.empty()) {
+    for (NodeId id = 1; id < nl.node_count(); ++id) probes.emplace_back(nl.node_name(id), id);
+  } else {
+    for (const auto& name : opts.probes) {
+      const auto id = nl.find_node(name);
+      if (!id.has_value()) throw std::invalid_argument("unknown probe node: " + name);
+      probes.emplace_back(name, *id);
+    }
+  }
+  for (const auto& [name, id] : probes) result.v.emplace(name, std::vector<double>{});
+
+  std::unordered_map<std::size_t, double> overrides;
+  auto set_overrides = [&](double t) {
+    for (const auto& [di, wave] : drive_list) overrides[di] = (*wave)(t);
+  };
+
+  // Initial operating point at t = 0 (capacitors open, drives at t=0).
+  set_overrides(0.0);
+  StampContext ctx;
+  ctx.nl = &nl;
+  ctx.gmin = opts.newton.gmin_final;
+  ctx.dt = 0.0;
+  ctx.vsrc_override = &overrides;
+
+  std::vector<double> x;
+  {
+    // Reuse the robust DC path by baking the t=0 drive values into a
+    // netlist copy (continuation methods do not support overrides).
+    Netlist op = nl;
+    for (const auto& [di, wave] : drive_list) {
+      std::get<VSource>(op.device(di).impl).volts = (*wave)(0.0);
+    }
+    const DcResult dc = solve_dc(op, opts.newton);
+    if (!dc.converged) {
+      util::log_warn("run_transient: t=0 operating point failed to converge");
+      return result;
+    }
+    x = dc.x;
+  }
+
+  // Node-indexed voltage history for the capacitor companions.
+  std::vector<double> prev_node_v(nl.node_count(), 0.0);
+  auto capture_node_v = [&] {
+    for (NodeId id = 1; id < nl.node_count(); ++id) prev_node_v[id] = node_voltage(nl, x, id);
+  };
+  capture_node_v();
+
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    for (const auto& [name, id] : probes) result.v[name].push_back(node_voltage(nl, x, id));
+  };
+  record(0.0);
+
+  ctx.dt = opts.dt;
+  ctx.prev_node_v = &prev_node_v;
+  const auto n_steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+  for (std::size_t step = 1; step <= n_steps; ++step) {
+    const double t = static_cast<double>(step) * opts.dt;
+    set_overrides(t);
+    if (!step_newton(nl, ctx, opts.newton, x)) {
+      util::log_warn("run_transient: step at t=" + std::to_string(t) + " failed to converge");
+      return result;  // result.ok stays false; partial waveform retained
+    }
+    capture_node_v();
+    record(t);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace lsl::spice

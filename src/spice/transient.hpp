@@ -1,0 +1,55 @@
+// Fixed-step transient analysis (backward Euler companion models, Newton
+// at every step). Used for cell-level dynamic tests: the clocked window
+// comparator at scan frequency, charge-pump step response, and the
+// transmission-gate dynamic-mismatch faults that DC cannot expose.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+
+namespace lsl::spice {
+
+/// Time-varying drive for a VSource: called with absolute time, returns
+/// the source voltage at that instant.
+using Waveform = std::function<double(double t)>;
+
+struct TransientOptions {
+  double t_stop = 1e-6;
+  double dt = 1e-10;
+  DcOptions newton;  // per-step Newton settings
+  /// Nodes to record (by name). Empty records every node.
+  std::vector<std::string> probes;
+};
+
+struct TransientResult {
+  bool ok = false;
+  std::vector<double> time;
+  /// probe name -> sampled voltages, one per time point.
+  std::unordered_map<std::string, std::vector<double>> v;
+
+  const std::vector<double>& probe(const std::string& name) const;
+  /// Value of a probe at the last time point.
+  double final_v(const std::string& name) const;
+};
+
+/// Simple waveform builders.
+Waveform dc_wave(double volts);
+/// 50%-duty square wave between v_lo and v_hi with the given period;
+/// first edge (to v_hi) at t = delay.
+Waveform square_wave(double v_lo, double v_hi, double period, double delay = 0.0);
+/// Piecewise-linear waveform over (t, v) breakpoints (clamps outside).
+Waveform pwl_wave(std::vector<std::pair<double, double>> points);
+
+/// Runs transient analysis. `drives` maps VSource device names to
+/// waveforms; sources not listed keep their netlist value. The initial
+/// condition is the DC operating point with all drives evaluated at t=0.
+TransientResult run_transient(const Netlist& nl,
+                              const std::unordered_map<std::string, Waveform>& drives,
+                              const TransientOptions& opts);
+
+}  // namespace lsl::spice

@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace lsl::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kOff: return "";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s%s\n", prefix(level), msg.c_str());
+}
+
+void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace lsl::util

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Campaign runs simulate thousands of faulted
+// circuits; the default level keeps them quiet while still surfacing
+// convergence failures.
+#pragma once
+
+#include <string>
+
+namespace lsl::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& msg);
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace lsl::util

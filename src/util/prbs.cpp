@@ -1,0 +1,58 @@
+#include "util/prbs.hpp"
+
+namespace lsl::util {
+
+namespace {
+
+struct Taps {
+  std::uint32_t a;
+  std::uint32_t b;
+};
+
+Taps taps_for(PrbsOrder order) {
+  switch (order) {
+    case PrbsOrder::kPrbs7: return {7, 6};
+    case PrbsOrder::kPrbs9: return {9, 5};
+    case PrbsOrder::kPrbs15: return {15, 14};
+    case PrbsOrder::kPrbs23: return {23, 18};
+    case PrbsOrder::kPrbs31: return {31, 28};
+  }
+  return {7, 6};
+}
+
+}  // namespace
+
+PrbsGenerator::PrbsGenerator(PrbsOrder order, std::uint32_t seed) : order_(order), state_(seed) {
+  const Taps t = taps_for(order);
+  tap_a_ = t.a;
+  tap_b_ = t.b;
+  const int n = static_cast<int>(order);
+  mask_ = (n >= 32) ? 0xffffffffu : ((1u << n) - 1u);
+  state_ &= mask_;
+  if (state_ == 0) state_ = 1;  // avoid the LFSR lockup state
+}
+
+bool PrbsGenerator::next_bit() {
+  // Polynomial x^n + x^m + 1 gives the recurrence a_k = a_{k-n} ^ a_{k-m}.
+  // With bit 1 holding a_t (the output) and bit j holding a_{t+j-1}, the
+  // bit shifted in at position n is a_{t+n} = a_t ^ a_{t+n-m}, i.e.
+  // bit 1 XOR bit (n-m+1).
+  const std::uint32_t bit_out = state_ & 1u;
+  const std::uint32_t bit_mid = (state_ >> (tap_a_ - tap_b_)) & 1u;
+  const std::uint32_t fb = bit_out ^ bit_mid;
+  state_ = ((state_ >> 1) | (fb << (tap_a_ - 1))) & mask_;
+  return bit_out != 0;
+}
+
+std::vector<bool> PrbsGenerator::bits(std::size_t n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_bit());
+  return out;
+}
+
+std::uint64_t PrbsGenerator::period() const {
+  return (1ULL << static_cast<int>(order_)) - 1ULL;
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,60 @@
+// Pseudo-random binary sequence generators used as at-speed BIST stimulus
+// and for eye-diagram workloads. Implemented as Fibonacci LFSRs with the
+// standard ITU-T polynomials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsl::util {
+
+/// PRBS polynomial selection. The value is the sequence order n; the
+/// sequence repeats every 2^n - 1 bits.
+enum class PrbsOrder : int {
+  kPrbs7 = 7,    // x^7 + x^6 + 1
+  kPrbs9 = 9,    // x^9 + x^5 + 1
+  kPrbs15 = 15,  // x^15 + x^14 + 1
+  kPrbs23 = 23,  // x^23 + x^18 + 1
+  kPrbs31 = 31,  // x^31 + x^28 + 1
+};
+
+/// Fibonacci LFSR PRBS generator. Never emits the all-zero lockup state.
+class PrbsGenerator {
+ public:
+  explicit PrbsGenerator(PrbsOrder order, std::uint32_t seed = 1u);
+
+  /// Next bit of the sequence.
+  bool next_bit();
+
+  /// Generates `n` bits into a vector (convenience for workloads).
+  std::vector<bool> bits(std::size_t n);
+
+  /// Sequence period, 2^order - 1.
+  std::uint64_t period() const;
+
+  PrbsOrder order() const { return order_; }
+
+ private:
+  PrbsOrder order_;
+  std::uint32_t state_;
+  std::uint32_t tap_a_;  // feedback tap positions (1-based bit index)
+  std::uint32_t tap_b_;
+  std::uint32_t mask_;
+};
+
+/// Square-wave (1010...) pattern source, the paper's "simple toggling
+/// data pattern" used during scan to expose dynamic-mismatch faults.
+class TogglePattern {
+ public:
+  explicit TogglePattern(bool start = false) : next_(start) {}
+  bool next_bit() {
+    const bool b = next_;
+    next_ = !next_;
+    return b;
+  }
+
+ private:
+  bool next_;
+};
+
+}  // namespace lsl::util

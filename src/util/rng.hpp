@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulation campaigns. PCG32 (O'Neill): small state, good statistical
+// quality, and — unlike std::mt19937 — a stable stream across standard
+// library implementations, so fault-campaign results are bit-identical
+// everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace lsl::util {
+
+/// 32-bit permuted congruential generator (PCG-XSH-RR).
+class Pcg32 {
+ public:
+  /// Seeds the generator. `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Fair coin flip.
+  bool next_bool();
+
+  /// Standard-normal variate (Box–Muller, one value per call).
+  double next_gaussian();
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint32_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace lsl::util

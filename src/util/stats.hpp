@@ -1,0 +1,70 @@
+// Streaming statistics and histograms used by the benchmark harnesses
+// (eye opening, lock time distributions, coverage accounting).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lsl::util {
+
+/// Welford-style running statistics: numerically stable mean/variance
+/// plus min/max, O(1) per sample.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Value below which `q` (0..1) of the mass lies (bin-midpoint estimate).
+  double quantile(double q) const;
+  /// Compact ASCII rendering for bench output.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ratio accumulator for coverage figures: detected / total, printed as %.
+struct Coverage {
+  std::size_t detected = 0;
+  std::size_t total = 0;
+  void add(bool was_detected) {
+    ++total;
+    if (was_detected) ++detected;
+  }
+  void merge(const Coverage& o) {
+    detected += o.detected;
+    total += o.total;
+  }
+  double percent() const { return total == 0 ? 0.0 : 100.0 * static_cast<double>(detected) / static_cast<double>(total); }
+};
+
+}  // namespace lsl::util

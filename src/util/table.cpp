@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace lsl::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int prec) { return num(v, prec) + "%"; }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      s += " " + v + std::string(widths[c] - v.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += hline();
+  out += line(header_);
+  out += hline();
+  for (const auto& row : rows_) out += line(row);
+  out += hline();
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace lsl::util

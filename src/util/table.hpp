@@ -1,0 +1,33 @@
+// ASCII table printer. The bench harnesses use it to emit rows in the
+// same layout as the paper's tables so paper-vs-measured comparison is a
+// visual diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lsl::util {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 1);
+  /// Convenience: "87.8%" style percentage.
+  static std::string pct(double v, int prec = 1);
+
+  std::string str() const;
+  void print() const;  // to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lsl::util

@@ -1,0 +1,90 @@
+#include "behav/pump.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::behav {
+namespace {
+
+TEST(ChargePump, UpRaisesVc) {
+  ChargePump p({}, 0.6);
+  const double before = p.vc();
+  p.pump(true, false, 400e-12);
+  // 8uA for 200ps into 1pF = 1.6 mV.
+  EXPECT_NEAR(p.vc() - before, 1.6e-3, 1e-5);
+}
+
+TEST(ChargePump, DnLowersVc) {
+  ChargePump p({}, 0.6);
+  p.pump(false, true, 400e-12);
+  EXPECT_NEAR(p.vc(), 0.6 - 1.6e-3, 1e-5);
+}
+
+TEST(ChargePump, UpAndDnCancel) {
+  ChargePump p({}, 0.6);
+  p.pump(true, true, 400e-12);
+  EXPECT_NEAR(p.vc(), 0.6, 1e-9);
+}
+
+TEST(ChargePump, MismatchedCurrentsDrift) {
+  PumpParams params;
+  params.i_up = 6e-6;
+  params.i_dn = 4e-6;
+  ChargePump p(params, 0.6);
+  p.pump(true, true, 400e-12);
+  EXPECT_GT(p.vc(), 0.6);  // net positive charge
+}
+
+TEST(ChargePump, ClampsAtRails) {
+  ChargePump p({}, 1.19);
+  for (int i = 0; i < 1000; ++i) p.pump(true, false, 400e-12);
+  EXPECT_DOUBLE_EQ(p.vc(), 1.2);
+  ChargePump q({}, 0.01);
+  for (int i = 0; i < 1000; ++i) q.pump(false, true, 400e-12);
+  EXPECT_DOUBLE_EQ(q.vc(), 0.0);
+}
+
+TEST(ChargePump, StrongIsFaster) {
+  ChargePump weak({}, 0.6);
+  ChargePump strong({}, 0.6);
+  weak.pump(true, false, 400e-12);
+  strong.strong(true, false, 400e-12);
+  // Strong: 4x current and no pulse gating.
+  EXPECT_GT(strong.vc() - 0.6, 4.0 * (weak.vc() - 0.6) - 1e-9);
+}
+
+TEST(ChargePump, LeakageDriftsWithoutActivity) {
+  PumpParams params;
+  params.leak = 1e-6;
+  ChargePump p(params, 0.6);
+  for (int i = 0; i < 100; ++i) p.pump(false, false, 400e-12);
+  // 1uA * 40ns / 1pF = 40 mV upward drift.
+  EXPECT_NEAR(p.vc(), 0.64, 1e-3);
+}
+
+TEST(ChargePump, BalanceNodeTracksVc) {
+  ChargePump p({}, 0.5);
+  p.pump(true, false, 400e-12);
+  EXPECT_NEAR(p.vp(), p.vc(), 1e-12);
+}
+
+TEST(ChargePump, BalanceOffsetFault) {
+  PumpParams params;
+  params.vp_offset = 0.2;
+  ChargePump p(params, 0.5);
+  p.pump(false, false, 400e-12);
+  EXPECT_NEAR(p.vp() - p.vc(), 0.2, 1e-12);
+}
+
+TEST(ChargePump, BrokenBalanceDrifts) {
+  PumpParams params;
+  params.balance_broken = true;
+  params.vp_drift = 1e6;  // 1 V/us toward VDD
+  ChargePump p(params, 0.5);
+  for (int i = 0; i < 2500; ++i) p.pump(false, false, 400e-12);
+  // 1 us of drift saturates Vp at the rail while Vc stays put.
+  EXPECT_DOUBLE_EQ(p.vp(), 1.2);
+  EXPECT_NEAR(p.vc(), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace lsl::behav

@@ -1,0 +1,48 @@
+#include "behav/vcdl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::behav {
+namespace {
+
+TEST(Vcdl, DelayIsAffineInControl) {
+  Vcdl v;
+  const double d0 = v.delay(0.0);
+  const double d1 = v.delay(1.0);
+  EXPECT_DOUBLE_EQ(d0, 20e-12);
+  EXPECT_DOUBLE_EQ(d1, 20e-12 + 150e-12);
+  EXPECT_DOUBLE_EQ(v.delay(0.5), 20e-12 + 75e-12);
+}
+
+TEST(Vcdl, ClampsNegativeControl) {
+  Vcdl v;
+  EXPECT_DOUBLE_EQ(v.delay(-1.0), v.delay(0.0));
+}
+
+TEST(Vcdl, FaultHooksApply) {
+  VcdlParams p;
+  p.gain_scale = 0.5;
+  p.extra_delay = 10e-12;
+  Vcdl v(p);
+  EXPECT_DOUBLE_EQ(v.delay(1.0), 20e-12 + 10e-12 + 75e-12);
+}
+
+TEST(Vcdl, RangeExceedsDllPhaseStepOverWindow) {
+  // The paper's design rule: VCDL range over the window-comparator span
+  // must exceed one DLL phase step, or the coarse/fine handoff can fail.
+  Vcdl v;
+  Dll d;
+  EXPECT_GT(v.range(0.4, 0.8), d.phase_step());
+}
+
+TEST(Dll, PhasesSpanThePeriod) {
+  Dll d;
+  EXPECT_EQ(d.n_phases(), 10u);
+  EXPECT_DOUBLE_EQ(d.phase_step(), 40e-12);
+  EXPECT_DOUBLE_EQ(d.phase_offset(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.phase_offset(9), 360e-12);
+  EXPECT_THROW(d.phase_offset(10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lsl::behav

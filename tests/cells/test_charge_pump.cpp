@@ -1,0 +1,171 @@
+#include "cells/charge_pump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+
+namespace lsl::cells {
+namespace {
+
+using spice::DcResult;
+using spice::kGround;
+using spice::Netlist;
+using spice::NodeId;
+using spice::solve_dc;
+using spice::VSource;
+
+/// Standalone charge-pump bench with all control rails drivable.
+struct Bench {
+  Netlist nl;
+  NodeId vdd;
+  ChargePumpPorts cp;
+  std::size_t s_up, s_upb, s_dn, s_dnb, s_upst, s_dnst, s_sen, s_senb;
+
+  Bench() {
+    vdd = nl.node("vdd");
+    nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+    ChargePumpControls ctl;
+    auto rail = [&](const char* name, std::size_t& idx) {
+      const NodeId n = nl.node(name);
+      idx = nl.add(std::string("v_") + name, VSource{n, kGround, 0.0});
+      return n;
+    };
+    ctl.up_gate = rail("up", s_up);
+    ctl.up_b_gate = rail("upb", s_upb);
+    ctl.dn_gate = rail("dn", s_dn);
+    ctl.dn_b_gate = rail("dnb", s_dnb);
+    ctl.upst_gate = rail("upst", s_upst);
+    ctl.dnst_gate = rail("dnst", s_dnst);
+    ctl.sen = rail("sen", s_sen);
+    ctl.sen_b = rail("senb", s_senb);
+    cp = build_charge_pump(nl, "cp", vdd, ctl);
+    set(s_up, 1.2);   // UP off (PMOS, active low)
+    set(s_upb, 0.0);  // steering on
+    set(s_dn, 0.0);   // DN off
+    set(s_dnb, 1.2);  // steering on
+    set(s_upst, 1.2);
+    set(s_dnst, 0.0);
+    set(s_sen, 0.0);
+    set(s_senb, 1.2);
+  }
+
+  void set(std::size_t idx, double v) { std::get<VSource>(nl.device(idx).impl).volts = v; }
+
+  /// Adds a Vc clamp and returns its branch current (+ = pump sourcing).
+  double pump_current(double vc) {
+    Netlist work = nl;
+    work.add("clamp", VSource{cp.vc, kGround, vc});
+    const DcResult r = solve_dc(work);
+    EXPECT_TRUE(r.converged);
+    return r.i(work, "clamp");
+  }
+};
+
+TEST(ChargePumpCell, ReferenceLadderLevels) {
+  Bench b;
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(b.nl, b.cp.vh), 0.8, 0.01);
+  EXPECT_NEAR(r.v(b.nl, b.cp.vl), 0.4, 0.01);
+  EXPECT_NEAR(r.v(b.nl, b.cp.vmid), 0.6, 0.01);
+}
+
+TEST(ChargePumpCell, WeakPumpCurrentsMicroampClass) {
+  Bench b;
+  const double idle = b.pump_current(0.6);
+  // UP on: main switch closed, steering complement open.
+  b.set(b.s_up, 0.0);
+  b.set(b.s_upb, 1.2);
+  const double up = b.pump_current(0.6) - idle;
+  b.set(b.s_up, 1.2);
+  b.set(b.s_upb, 0.0);
+  // DN on, its steering off.
+  b.set(b.s_dn, 1.2);
+  b.set(b.s_dnb, 0.0);
+  const double dn = -(b.pump_current(0.6) - idle);
+  EXPECT_GT(up, 1e-6);
+  EXPECT_LT(up, 40e-6);
+  EXPECT_GT(dn, 1e-6);
+  EXPECT_LT(dn, 40e-6);
+}
+
+TEST(ChargePumpCell, StrongPumpIsStronger) {
+  Bench b;
+  const double idle = b.pump_current(0.6);
+  b.set(b.s_up, 0.0);
+  b.set(b.s_upb, 1.2);
+  const double up = b.pump_current(0.6) - idle;
+  b.set(b.s_up, 1.2);
+  b.set(b.s_upb, 0.0);
+  b.set(b.s_upst, 0.0);
+  const double upst = b.pump_current(0.6) - idle;
+  EXPECT_GT(upst, 2.0 * up);
+}
+
+TEST(ChargePumpCell, BalanceAmpHoldsVpNearVc) {
+  Bench b;
+  for (const double vc : {0.45, 0.6, 0.75}) {
+    Netlist work = b.nl;
+    work.add("clamp", VSource{b.cp.vc, kGround, vc});
+    const DcResult r = solve_dc(work);
+    ASSERT_TRUE(r.converged);
+    EXPECT_NEAR(r.v(work, b.cp.vp), vc, 0.15) << "vc=" << vc;
+  }
+}
+
+TEST(ChargePumpCell, ScanCollapseTurnsSourcesIntoSwitches) {
+  Bench b;
+  b.set(b.s_sen, 1.2);
+  b.set(b.s_senb, 0.0);
+  // UP drives Vc to the top rail.
+  b.set(b.s_up, 0.0);
+  b.set(b.s_upb, 1.2);
+  DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.v(b.nl, b.cp.vc), 1.05);
+  // DN to the bottom rail.
+  b.set(b.s_up, 1.2);
+  b.set(b.s_dn, 1.2);
+  b.set(b.s_dnb, 0.0);
+  r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.v(b.nl, b.cp.vc), 0.15);
+}
+
+TEST(ChargePumpCell, ScanMuxParksComparatorInput) {
+  Bench b;
+  b.set(b.s_sen, 1.2);
+  b.set(b.s_senb, 0.0);
+  // Drive vc to the rail: the comparator input must stay at vmid.
+  b.set(b.s_up, 0.0);
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const auto cmp_in = b.nl.find_node("cp.cmp_in");
+  ASSERT_TRUE(cmp_in.has_value());
+  EXPECT_NEAR(r.v(b.nl, *cmp_in), 0.6, 0.05);
+  const double th = 0.6;
+  EXPECT_LT(r.v(b.nl, b.cp.cmp_hi), th);
+  EXPECT_LT(r.v(b.nl, b.cp.cmp_lo), th);
+}
+
+TEST(ChargePumpCell, CpBistWindowAroundVc) {
+  Bench b;
+  // Clamp both Vc and Vp; sweep their separation.
+  auto bist_bits = [&](double vc, double vp) {
+    Netlist work = b.nl;
+    work.add("clamp_vc", VSource{b.cp.vc, kGround, vc});
+    work.add("clamp_vp", VSource{b.cp.vp, kGround, vp});
+    const DcResult r = solve_dc(work);
+    EXPECT_TRUE(r.converged);
+    return std::pair{r.v(work, b.cp.bist_hi) > 0.6, r.v(work, b.cp.bist_lo) > 0.6};
+  };
+  // Inside the 150 mV-class window: quiet.
+  EXPECT_EQ(bist_bits(0.6, 0.65), (std::pair{false, false}));
+  // Vp far above Vc: hi side trips.
+  EXPECT_EQ(bist_bits(0.5, 0.95), (std::pair{true, false}));
+  // Vp far below: lo side trips.
+  EXPECT_EQ(bist_bits(0.8, 0.35), (std::pair{false, true}));
+}
+
+}  // namespace
+}  // namespace lsl::cells

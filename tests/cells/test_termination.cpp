@@ -1,0 +1,134 @@
+#include "cells/termination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+
+namespace lsl::cells {
+namespace {
+
+using spice::DcResult;
+using spice::kGround;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+using spice::solve_dc;
+using spice::VSource;
+
+/// Termination test bench: lines driven through source resistors, a
+/// matching clock-recovery bias divider.
+struct Bench {
+  Netlist nl;
+  NodeId vdd;
+  NodeId line_p;
+  NodeId line_n;
+  std::size_t src_p;
+  std::size_t src_n;
+  TerminationPorts term;
+
+  Bench() {
+    vdd = nl.node("vdd");
+    nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+    const NodeId vbn = build_nbias(nl, "bias", vdd, 130e3);
+    line_p = nl.node("lp");
+    line_n = nl.node("ln");
+    const NodeId dp = nl.node("dp");
+    const NodeId dn = nl.node("dn");
+    src_p = nl.add("v_dp", VSource{dp, kGround, 0.75});
+    src_n = nl.add("v_dn", VSource{dn, kGround, 0.75});
+    nl.add("r_sp", Resistor{dp, line_p, 100e3});
+    nl.add("r_sn", Resistor{dn, line_n, 100e3});
+    const NodeId vmid_cr = nl.node("vmid_cr");
+    TerminationSpec spec;
+    nl.add("cr_t", Resistor{vdd, vmid_cr, spec.r_div_top});
+    nl.add("cr_b", Resistor{vmid_cr, kGround, spec.r_div_bot});
+    term = build_termination(nl, "term", vdd, vbn, line_p, line_n, vmid_cr, spec);
+  }
+
+  void drive(double vp, double vn) {
+    std::get<VSource>(nl.device(src_p).impl).volts = vp;
+    std::get<VSource>(nl.device(src_n).impl).volts = vn;
+  }
+};
+
+TEST(Termination, BiasDividerSitsAtDesignPoint) {
+  Bench b;
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(b.nl, b.term.vmid_rx), 1.2 * 20.0 / 32.0, 0.01);
+}
+
+TEST(Termination, TgatesPullLinesTowardBias) {
+  Bench b;
+  b.drive(1.2, 0.0);  // hard drive through 100k
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double vmid = r.v(b.nl, b.term.vmid_rx);
+  const double lp = r.v(b.nl, b.line_p);
+  const double ln = r.v(b.nl, b.line_n);
+  // Low termination impedance: the lines stay within ~100 mV of the bias
+  // even with a rail-to-rail source behind 100k.
+  EXPECT_LT(std::abs(lp - vmid), 0.12);
+  EXPECT_LT(std::abs(ln - vmid), 0.12);
+  EXPECT_GT(lp, vmid);  // but they do move in the driven direction
+  EXPECT_LT(ln, vmid);
+}
+
+TEST(Termination, TerminationResistanceInExpectedRange) {
+  // Measure the small-signal termination resistance from two DC points.
+  Bench b;
+  b.drive(0.75, 0.75);
+  const DcResult r0 = solve_dc(b.nl);
+  ASSERT_TRUE(r0.converged);
+  b.drive(1.2, 0.75);
+  const DcResult r1 = solve_dc(b.nl);
+  ASSERT_TRUE(r1.converged);
+  const double dv_line = r1.v(b.nl, b.line_p) - r0.v(b.nl, b.line_p);
+  const double i = (1.2 - 0.75) / 100e3 * (1.0 - dv_line / 0.45);  // approx current change
+  const double r_term = dv_line / ((1.2 - r1.v(b.nl, b.line_p)) / 100e3);
+  (void)i;
+  EXPECT_GT(r_term, 1e3);
+  EXPECT_LT(r_term, 40e3);
+}
+
+TEST(Termination, PerArmComparatorsDecideAgainstBias) {
+  Bench b;
+  // Drive the P line well above and the N line well below the bias.
+  b.drive(1.2, 0.0);
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double th = 0.6;
+  EXPECT_GT(r.v(b.nl, b.term.cmp_p_hi), th);
+  EXPECT_LT(r.v(b.nl, b.term.cmp_p_lo), th);
+  EXPECT_LT(r.v(b.nl, b.term.cmp_n_hi), th);
+  EXPECT_GT(r.v(b.nl, b.term.cmp_n_lo), th);
+}
+
+TEST(Termination, ComparatorsQuietAtBias) {
+  Bench b;
+  b.drive(0.75, 0.75);
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double th = 0.6;
+  // Both lines sit at the bias: every per-arm comparator inside its
+  // offset window.
+  EXPECT_LT(r.v(b.nl, b.term.cmp_p_hi), th);
+  EXPECT_LT(r.v(b.nl, b.term.cmp_p_lo), th);
+  EXPECT_LT(r.v(b.nl, b.term.cmp_n_hi), th);
+  EXPECT_LT(r.v(b.nl, b.term.cmp_n_lo), th);
+}
+
+TEST(Termination, BiasWindowFlagsDividerMismatch) {
+  Bench b;
+  // Break the local divider: vmid_rx collapses, the bias window trips.
+  std::get<Resistor>(b.nl.device(*b.nl.find_device("term.r_divt")).impl).ohms = 200e3;
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double th = 0.6;
+  const bool hi = r.v(b.nl, b.term.cmp_bias_hi) > th;
+  const bool lo = r.v(b.nl, b.term.cmp_bias_lo) > th;
+  EXPECT_TRUE(hi || lo);
+}
+
+}  // namespace
+}  // namespace lsl::cells

@@ -1,0 +1,152 @@
+#include "cells/transmitter.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+
+namespace lsl::cells {
+namespace {
+
+using spice::Capacitor;
+using spice::DcResult;
+using spice::kGround;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+using spice::solve_dc;
+using spice::VSource;
+
+struct Bench {
+  Netlist nl;
+  NodeId vdd;
+  NodeId line;
+  TransmitterArmPorts arm;
+  std::size_t s_main, s_alpha, s_drv;
+
+  Bench() {
+    vdd = nl.node("vdd");
+    nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+    line = nl.node("line");
+    // Simple receiving side: termination to a bias.
+    const NodeId vmid = nl.node("vmid");
+    nl.add("v_vmid", VSource{vmid, kGround, 0.75});
+    nl.add("r_term", Resistor{line, vmid, 7e3});
+    nl.add("c_line", Capacitor{line, kGround, 1e-12});
+
+    const NodeId main = nl.node("main");
+    const NodeId alpha = nl.node("alpha");
+    const NodeId drv = nl.node("drv");
+    s_main = nl.add("v_main", VSource{main, kGround, 0.0});
+    s_alpha = nl.add("v_alpha", VSource{alpha, kGround, 1.2});
+    s_drv = nl.add("v_drv", VSource{drv, kGround, 1.2});
+    arm = build_transmitter_arm(nl, "tx", vdd, main, alpha, drv, line);
+  }
+
+  void set(std::size_t idx, double v) { std::get<VSource>(nl.device(idx).impl).volts = v; }
+};
+
+TEST(Transmitter, CapsIsolateRailsAtDc) {
+  Bench b;
+  // Even with the rail taps driven, only the weak driver moves the DC
+  // line level — the caps are open at DC.
+  const DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double v_line = r.v(b.nl, "line");
+  // drv input high -> inverter output low -> line pulled below vmid.
+  EXPECT_LT(v_line, 0.75);
+  EXPECT_GT(v_line, 0.60);  // weak: tens of mV below the bias, not rail
+}
+
+TEST(Transmitter, WeakDriverSetsPolarity) {
+  Bench b;
+  b.set(b.s_drv, 0.0);  // data 1: inverter pulls up
+  DcResult r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double hi = r.v(b.nl, "line");
+  b.set(b.s_drv, 1.2);  // data 0
+  r = solve_dc(b.nl);
+  ASSERT_TRUE(r.converged);
+  const double lo = r.v(b.nl, "line");
+  EXPECT_GT(hi, 0.75);
+  EXPECT_LT(lo, 0.75);
+  // Low-swing: tens of millivolts about the bias.
+  EXPECT_LT(hi - lo, 0.2);
+  EXPECT_GT(hi - lo, 0.02);
+}
+
+TEST(Transmitter, MainCapKicksTheLineOnEdges) {
+  Bench b;
+  spice::TransientOptions opts;
+  opts.t_stop = 30e-9;
+  opts.dt = 0.05e-9;
+  opts.probes = {"line"};
+  // Step the main tap at 10 ns; hold everything else.
+  const auto res = spice::run_transient(
+      b.nl, {{"v_main", spice::pwl_wave({{0.0, 0.0}, {10e-9, 0.0}, {10.1e-9, 1.2}})}}, opts);
+  ASSERT_TRUE(res.ok);
+  // Find the peak deviation after the edge.
+  double before = 0.0;
+  double peak = -1e9;
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    if (res.time[i] < 9.9e-9) before = res.v.at("line")[i];
+    if (res.time[i] > 10e-9) peak = std::max(peak, res.v.at("line")[i]);
+  }
+  // The cap divider kicks the line by roughly Cs/(Cs+Cline)*Vdd ~ 0.1 V.
+  EXPECT_GT(peak - before, 0.05);
+  // And it decays back toward the weak-driver level.
+  EXPECT_LT(res.final_v("line") - before, 0.03);
+}
+
+TEST(Transmitter, AlphaCapKicksOppositeSizing) {
+  Bench b;
+  spice::TransientOptions opts;
+  opts.t_stop = 30e-9;
+  opts.dt = 0.05e-9;
+  opts.probes = {"line"};
+  const auto main_kick = spice::run_transient(
+      b.nl, {{"v_main", spice::pwl_wave({{0.0, 0.0}, {10e-9, 0.0}, {10.1e-9, 1.2}})}}, opts);
+  const auto alpha_kick = spice::run_transient(
+      b.nl, {{"v_alpha", spice::pwl_wave({{0.0, 1.2}, {10e-9, 1.2}, {10.1e-9, 0.0}})}}, opts);
+  ASSERT_TRUE(main_kick.ok);
+  ASSERT_TRUE(alpha_kick.ok);
+  auto peak_dev = [](const spice::TransientResult& r) {
+    double before = 0.0;
+    double peak = 0.0;
+    for (std::size_t i = 0; i < r.time.size(); ++i) {
+      if (r.time[i] < 9.9e-9) before = r.v.at("line")[i];
+      if (r.time[i] > 10e-9) peak = std::max(peak, std::fabs(r.v.at("line")[i] - before));
+    }
+    return peak;
+  };
+  // The alpha cap (Cs*alpha < Cs) kicks less than the main cap.
+  EXPECT_LT(peak_dev(alpha_kick), peak_dev(main_kick));
+  EXPECT_GT(peak_dev(alpha_kick), 0.01);
+}
+
+TEST(RcLine, DcDropIsZeroUnloaded) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId z = nl.node("z");
+  nl.add("v1", VSource{a, kGround, 1.0});
+  build_rc_line(nl, "w", a, z, {});
+  const DcResult r = solve_dc(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v(nl, "z"), 1.0, 1e-6);  // no load: no drop
+}
+
+TEST(RcLine, SectionCountMatchesSpec) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId z = nl.node("z");
+  RcLineSpec spec;
+  spec.sections = 7;
+  const std::size_t before = nl.devices().size();
+  build_rc_line(nl, "w", a, z, spec);
+  EXPECT_EQ(nl.devices().size() - before, 14u);  // R + C per section
+}
+
+}  // namespace
+}  // namespace lsl::cells

@@ -1,0 +1,124 @@
+#include "cells/vcdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/montecarlo.hpp"
+#include "fault/structural.hpp"
+#include "spice/transient.hpp"
+
+namespace lsl::cells {
+namespace {
+
+TEST(Vcdl, DelayIsSubNanosecond) {
+  const double d = measure_vcdl_delay({}, 0.9);
+  ASSERT_GT(d, 0.0);
+  EXPECT_LT(d, 2e-9);
+  EXPECT_GT(d, 20e-12);
+}
+
+TEST(Vcdl, MoreControlCurrentLessDelay) {
+  // Current-starved line: raising the footer gate speeds it up. (The
+  // loop-polarity mapping to the behavioral delay-up-with-Vc model is
+  // handled by the pump orientation.)
+  const double slow = measure_vcdl_delay({}, 0.55);
+  const double mid = measure_vcdl_delay({}, 0.75);
+  const double fast = measure_vcdl_delay({}, 1.1);
+  ASSERT_GT(slow, 0.0);
+  ASSERT_GT(mid, 0.0);
+  ASSERT_GT(fast, 0.0);
+  EXPECT_GT(slow, mid);
+  EXPECT_GT(mid, fast);
+}
+
+TEST(Vcdl, TuningRangeCoversDllPhaseStep) {
+  // The paper's design rule: the VCDL range over the control span must
+  // exceed one DLL phase step (40 ps for a 10-phase, 400 ps clock).
+  const double slow = measure_vcdl_delay({}, 0.55);
+  const double fast = measure_vcdl_delay({}, 1.1);
+  ASSERT_GT(slow, 0.0);
+  ASSERT_GT(fast, 0.0);
+  EXPECT_GT(slow - fast, 40e-12);
+}
+
+TEST(Vcdl, TapDelaysMonotoneAndUniform) {
+  const auto taps = measure_tap_delays({}, 0.9);
+  ASSERT_EQ(taps.size(), 4u);
+  EXPECT_TRUE(dll_taps_uniform(taps));
+}
+
+TEST(Vcdl, StageFaultBreaksTapUniformity) {
+  // Kill one stage's starving footer: that stage slows dramatically (it
+  // only pulls down through leakage), and the stand-alone DLL test
+  // catches the non-uniform spacing — the paper's refs [11][12] check.
+  VcdlSpec spec;
+  spice::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  nl.add("v_vdd", spice::VSource{vdd, spice::kGround, 1.2});
+  const auto vctl = nl.node("vctl");
+  nl.add("v_ctl", spice::VSource{vctl, spice::kGround, 0.9});
+  const auto in = nl.node("in");
+  nl.add("v_in", spice::VSource{in, spice::kGround, 0.0});
+  const auto out = nl.node("out");
+  build_vcdl(nl, "vcdl", vdd, vctl, in, out, spec);
+  ASSERT_TRUE(fault::inject(nl, {"vcdl.m_s1", fault::FaultClass::kSourceOpen},
+                            fault::OpenLeak::kToGround, vdd));
+
+  spice::TransientOptions opts;
+  opts.t_stop = 8e-9;
+  opts.dt = 2e-12;
+  opts.probes = {"vcdl.s0", "vcdl.s1", "vcdl.s2", "out"};
+  const auto res = spice::run_transient(
+      nl, {{"v_in", spice::pwl_wave({{0.0, 0.0}, {1e-9, 0.0}, {1.02e-9, 1.2}})}}, opts);
+  ASSERT_TRUE(res.ok);
+  // The broken stage never completes its falling transition in-window:
+  // its downstream tap misses the deadline entirely, which the
+  // uniformity check reports as a failure (empty / non-monotone taps).
+  const double v_s1_end = res.final_v("vcdl.s1");
+  EXPECT_GT(v_s1_end, 0.4);  // stuck mid/high instead of pulled low
+}
+
+TEST(DllTapCheck, RejectsNonMonotone) {
+  EXPECT_FALSE(dll_taps_uniform({100e-12, 90e-12, 150e-12}));
+}
+
+TEST(DllTapCheck, RejectsSkewedSpacing) {
+  EXPECT_FALSE(dll_taps_uniform({100e-12, 140e-12, 260e-12}));
+  EXPECT_TRUE(dll_taps_uniform({100e-12, 140e-12, 182e-12}));
+}
+
+TEST(DllTapCheck, RejectsTooFewTaps) {
+  EXPECT_FALSE(dll_taps_uniform({100e-12}));
+}
+
+TEST(Vcdl, MismatchKeepsUniformityWithinTolerance) {
+  // Process mismatch alone must not fail the stand-alone DLL test (it is
+  // a defect screen, not a parametric screen).
+  VcdlSpec spec;
+  util::Pcg32 rng(33);
+  spice::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  nl.add("v_vdd", spice::VSource{vdd, spice::kGround, 1.2});
+  const auto vctl = nl.node("vctl");
+  nl.add("v_ctl", spice::VSource{vctl, spice::kGround, 0.9});
+  const auto in = nl.node("in");
+  nl.add("v_in", spice::VSource{in, spice::kGround, 0.0});
+  const auto out = nl.node("out");
+  build_vcdl(nl, "vcdl", vdd, vctl, in, out, spec);
+  fault::apply_vt_mismatch(nl, {"vcdl."}, {}, rng);
+
+  spice::TransientOptions opts;
+  opts.t_stop = 8e-9;
+  opts.dt = 2e-12;
+  opts.probes = {"vcdl.s0", "vcdl.s1", "vcdl.s2", "out"};
+  const auto res = spice::run_transient(
+      nl, {{"v_in", spice::pwl_wave({{0.0, 0.0}, {1e-9, 0.0}, {1.02e-9, 1.2}})}}, opts);
+  ASSERT_TRUE(res.ok);
+  // All four taps toggle.
+  EXPECT_LT(res.final_v("vcdl.s0"), 0.2);
+  EXPECT_GT(res.final_v("vcdl.s1"), 1.0);
+  EXPECT_LT(res.final_v("vcdl.s2"), 0.2);
+  EXPECT_GT(res.final_v("out"), 1.0);
+}
+
+}  // namespace
+}  // namespace lsl::cells

@@ -1,0 +1,65 @@
+#include "core/testable_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::core {
+namespace {
+
+TEST(TestableLink, HealthySelfTestPasses) {
+  TestableLink link;
+  const SelfTestResult r = link.self_test();
+  EXPECT_TRUE(r.dc_pass);
+  EXPECT_TRUE(r.scan_pass);
+  EXPECT_TRUE(r.bist_pass);
+  EXPECT_TRUE(r.all_pass());
+}
+
+TEST(TestableLink, OverheadHasEightRows) {
+  TestableLink link;
+  const auto rows = link.overhead();
+  EXPECT_EQ(rows.size(), 8u);
+}
+
+TEST(TestableLink, LockTransientRecordsTrace) {
+  TestableLink link;
+  const auto r = link.lock_transient(0.95, 3);
+  EXPECT_TRUE(r.locked);
+  EXPECT_FALSE(r.trace.empty());
+  // The trace must be time-ordered.
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GT(r.trace[i].t, r.trace[i - 1].t);
+  }
+}
+
+TEST(TestableLink, EyeRespondsToFfe) {
+  TestableLink link;
+  const auto open = link.eye();
+  const auto closed = link.eye(0.0);
+  EXPECT_GT(open.best_height, closed.best_height);
+}
+
+TEST(TestableLink, TrafficErrorFree) {
+  TestableLink link;
+  const auto t = link.run_traffic(1000);
+  EXPECT_TRUE(t.sync.locked);
+  EXPECT_EQ(t.errors, 0u);
+}
+
+TEST(TestableLink, SmallCampaignSubsetRuns) {
+  TestableLink link;
+  dft::CampaignOptions opts;
+  opts.max_faults = 12;
+  opts.with_scan_toggle = false;  // keep the unit test quick
+  opts.with_bist = false;
+  const auto report = link.run_fault_campaign(opts);
+  EXPECT_EQ(report.total.cum_all.total, 12u);
+}
+
+TEST(TestableLink, DigitalCampaignNearFull) {
+  TestableLink link;
+  const auto r = link.run_digital_campaign(64, 3);
+  EXPECT_GT(r.combined.percent(), 97.0);
+}
+
+}  // namespace
+}  // namespace lsl::core

@@ -1,0 +1,104 @@
+#include "dft/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::dft {
+namespace {
+
+class DictionaryFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new cells::LinkFrontend();
+    // No toggle test: keeps the fixture fast; the signature is still
+    // 60+ characters of DC/scan/BIST observables.
+    ctx_ = new DictionaryContext(*golden_, /*with_toggle=*/false);
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete golden_;
+    ctx_ = nullptr;
+    golden_ = nullptr;
+  }
+
+  static std::pair<cells::LinkFrontend, cells::LinkFrontend> faulted(
+      const fault::StructuralFault& f) {
+    cells::LinkFrontend open = ctx_->golden;
+    cells::LinkFrontend closed = ctx_->golden_closed;
+    const auto leak = fault::OpenLeak::kToGround;
+    EXPECT_TRUE(fault::inject(open.netlist(), f, leak, *open.netlist().find_node("vdd")));
+    EXPECT_TRUE(fault::inject(closed.netlist(), f, leak, *closed.netlist().find_node("vdd")));
+    return {std::move(open), std::move(closed)};
+  }
+
+  static cells::LinkFrontend* golden_;
+  static DictionaryContext* ctx_;
+};
+
+cells::LinkFrontend* DictionaryFixture::golden_ = nullptr;
+DictionaryContext* DictionaryFixture::ctx_ = nullptr;
+
+TEST_F(DictionaryFixture, GoldenSignatureIsCleanAndStable) {
+  const std::string a = capture_signature(*ctx_, ctx_->golden, ctx_->golden_closed);
+  const std::string b = capture_signature(*ctx_, ctx_->golden, ctx_->golden_closed);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find('!'), std::string::npos);
+  EXPECT_GT(a.size(), 50u);
+}
+
+TEST_F(DictionaryFixture, DistinctFaultsDistinctSignatures) {
+  const auto [a_open, a_closed] = faulted({"tx.p.c_main", fault::FaultClass::kCapacitorShort});
+  const auto [b_open, b_closed] = faulted({"cp.m_swup", fault::FaultClass::kDrainOpen});
+  const std::string sa = capture_signature(*ctx_, a_open, a_closed);
+  const std::string sb = capture_signature(*ctx_, b_open, b_closed);
+  const std::string g = capture_signature(*ctx_, ctx_->golden, ctx_->golden_closed);
+  EXPECT_NE(sa, g);
+  EXPECT_NE(sb, g);
+  EXPECT_NE(sa, sb);
+}
+
+TEST_F(DictionaryFixture, DiagnoseFindsTheInjectedFault) {
+  DictionaryOptions opts;
+  opts.prefixes = {"tx."};  // small universe for speed
+  opts.with_toggle = false;
+  FaultDictionary dict = build_dictionary(*golden_, opts);
+  ASSERT_GT(dict.entries().size(), 10u);
+
+  // "Silicon" comes back with a defect: capture its signature and ask
+  // the dictionary.
+  const fault::StructuralFault injected{"tx.n.m_drvp", fault::FaultClass::kDrainSourceShort};
+  const auto [open, closed] = faulted(injected);
+  const std::string observed = capture_signature(*ctx_, open, closed);
+  const auto candidates = dict.diagnose(observed);
+  ASSERT_FALSE(candidates.empty());
+  bool found = false;
+  for (const auto* c : candidates) {
+    found |= c->fault.device == injected.device && c->fault.cls == injected.cls;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DictionaryFixture, ResolutionStatsAreConsistent) {
+  DictionaryOptions opts;
+  opts.prefixes = {"tx.", "term.term"};
+  opts.with_toggle = false;
+  FaultDictionary dict = build_dictionary(*golden_, opts);
+  const auto r = dict.resolution();
+  EXPECT_EQ(r.faults, dict.entries().size());
+  EXPECT_LE(r.detected, r.faults);
+  EXPECT_LE(r.classes, r.detected);
+  EXPECT_LE(r.uniquely_diagnosed, r.classes);
+  EXPECT_GE(r.largest_class, 1u);
+  EXPECT_GE(r.avg_class_size, 1.0);
+}
+
+TEST(FaultDictionary, EmptyDiagnosis) {
+  FaultDictionary dict;
+  dict.set_golden_signature("000");
+  EXPECT_TRUE(dict.diagnose("111").empty());
+  const auto r = dict.resolution();
+  EXPECT_EQ(r.faults, 0u);
+  EXPECT_EQ(r.classes, 0u);
+}
+
+}  // namespace
+}  // namespace lsl::dft

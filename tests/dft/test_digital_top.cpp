@@ -1,0 +1,171 @@
+#include "dft/digital_top.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dft/overhead.hpp"
+
+namespace lsl::dft {
+namespace {
+
+using digital::Logic;
+
+TEST(DigitalTop, BuildsWithExpectedChains) {
+  DigitalTop top = build_digital_top();
+  // Chain A: 2 TX + 2 probe + 4 PD flops.
+  EXPECT_EQ(top.chain_a_flops.size(), 8u);
+  // Chain B: term cap + 2 FSM + 2 BIST caps + 10 ring + 3 lock.
+  EXPECT_EQ(top.chain_b_flops.size(), 18u);
+}
+
+TEST(DigitalTop, ScanChainsShiftIndependently) {
+  DigitalTop top = build_digital_top();
+  ScanChains chains = stitch_scan_chains(top);
+  top.c.power_on();
+  for (const auto n : {top.data_in, top.ten, top.half_sel, top.cmp_hi, top.cmp_lo, top.cmp_term,
+                       top.bist_hi, top.bist_lo}) {
+    top.c.set_input(n, false);
+  }
+  for (const auto n : top.dll_phases) top.c.set_input(n, false);
+  top.c.set_input(*top.c.find_net("scan_clk"), false);
+  top.c.set_input(top.sen, false);
+  top.c.set_input(*top.c.find_net("lock_rst"), false);
+
+  chains.a.load_flop_order(top.c, digital::logic_vector("10110010"));
+  chains.b.load_flop_order(top.c, digital::logic_vector("101100101100101100"));
+  EXPECT_EQ(digital::logic_string(chains.a.read_flop_order(top.c)), "10110010");
+  EXPECT_EQ(digital::logic_string(chains.b.read_flop_order(top.c)), "101100101100101100");
+}
+
+TEST(DigitalTop, PdUpDnTwoPassTest) {
+  // The paper's two-pass phase-detector test: in pass 1 the latch is
+  // transparent, in pass 2 it delays the data by half a cycle, which
+  // flips the PD's UP/DN decision — so both decode paths get exercised.
+  DigitalTop top = build_digital_top();
+  top.c.power_on();
+  auto set_all_low = [&] {
+    for (const auto n : {top.data_in, top.ten, top.half_sel, top.cmp_hi, top.cmp_lo,
+                         top.cmp_term, top.bist_hi, top.bist_lo}) {
+      top.c.set_input(n, false);
+    }
+    for (const auto n : top.dll_phases) top.c.set_input(n, false);
+    top.c.set_input(*top.c.find_net("scan_clk"), false);
+  top.c.set_input(top.sen, false);
+    top.c.set_input(*top.c.find_net("lock_rst"), false);
+  };
+  set_all_low();
+
+  // Pass 1: latch transparent; toggling data at the scan frequency makes
+  // the PD assert only UP (the paper's observation).
+  bool saw_dn = false;
+  bool saw_up = false;
+  bool d = false;
+  for (int k = 0; k < 10; ++k) {
+    d = !d;
+    top.c.set_input(top.data_in, d);
+    top.c.step();
+    if (k < 4) continue;  // let X flush out of the pipeline
+    if (top.c.value(top.pd.dn) == Logic::k1) saw_dn = true;
+    if (top.c.value(top.pd.up) == Logic::k1) saw_up = true;
+  }
+  EXPECT_TRUE(saw_up);
+  EXPECT_FALSE(saw_dn);
+
+  // Pass 2: the half-cycle latch delays the launched data, flipping the
+  // PD decision to DN — covering the other decode path.
+  top.c.power_on();
+  set_all_low();
+  top.c.set_input(top.ten, true);
+  top.c.set_input(top.half_sel, true);
+  saw_dn = false;
+  saw_up = false;
+  d = false;
+  for (int k = 0; k < 10; ++k) {
+    d = !d;
+    top.c.set_input(top.data_in, d);
+    top.c.step();
+    if (k < 4) continue;
+    if (top.c.value(top.pd.dn) == Logic::k1) saw_dn = true;
+    if (top.c.value(top.pd.up) == Logic::k1) saw_up = true;
+  }
+  EXPECT_TRUE(saw_dn);
+  EXPECT_FALSE(saw_up);
+}
+
+TEST(DigitalTop, SwitchMatrixContinuityStory) {
+  // Preloading all zeroes selects no phase: the switch-matrix output is
+  // stuck low regardless of the phases (no clock for chain A, which the
+  // continuity test then notices).
+  DigitalTop top = build_digital_top();
+  ScanChains chains = stitch_scan_chains(top);
+  top.c.power_on();
+  for (const auto n : {top.data_in, top.ten, top.half_sel, top.cmp_hi, top.cmp_lo, top.cmp_term,
+                       top.bist_hi, top.bist_lo}) {
+    top.c.set_input(n, false);
+  }
+  for (const auto n : top.dll_phases) top.c.set_input(n, true);
+  top.c.set_input(*top.c.find_net("scan_clk"), false);
+  top.c.set_input(top.sen, false);
+  top.c.set_input(*top.c.find_net("lock_rst"), false);
+  chains.b.load_flop_order(top.c, digital::logic_vector("000000000000000000"));
+  top.c.settle();
+  EXPECT_EQ(top.c.value(top.sw.out), Logic::k0);
+
+  // One-hot preload routes the selected phase through.
+  auto load = digital::logic_vector("000000000000000000");
+  load[5] = Logic::k1;  // first ring flop (after term cap, 2 FSM, 2 BIST caps)
+  chains.b.load_flop_order(top.c, load);
+  top.c.settle();
+  EXPECT_EQ(top.c.value(top.sw.out), Logic::k1);
+}
+
+TEST(DigitalTop, LockDetectorCountsCoarseRequestsInTestMode) {
+  DigitalTop top = build_digital_top();
+  top.c.power_on();
+  for (const auto n : {top.data_in, top.half_sel, top.cmp_lo, top.cmp_term, top.bist_hi,
+                       top.bist_lo}) {
+    top.c.set_input(n, false);
+  }
+  for (const auto n : top.dll_phases) top.c.set_input(n, false);
+  top.c.set_input(*top.c.find_net("scan_clk"), false);
+  top.c.set_input(top.sen, false);
+  top.c.set_input(top.ten, true);
+  top.c.set_input(top.cmp_hi, false);
+  // Flush power-on X out of the FSM capture flops, then reset the
+  // counter (on silicon the BIST sequence does exactly this).
+  top.c.step();
+  top.c.set_input(*top.c.find_net("lock_rst"), true);
+  top.c.apply_reset();
+  top.c.step();
+  top.c.set_input(*top.c.find_net("lock_rst"), false);
+
+  // Three one-cycle coarse requests (cmp_hi pulses on the divided clock).
+  for (int k = 0; k < 3; ++k) {
+    top.c.set_input(top.cmp_hi, true);
+    top.c.step();  // FSM captures the request
+    top.c.set_input(top.cmp_hi, false);
+    top.c.step();  // lock detector counts it; FSM capture clears
+  }
+  int value = 0;
+  for (std::size_t b = 0; b < 3; ++b) {
+    if (top.c.value(top.lockdet.q[b]) == Logic::k1) value |= 1 << b;
+  }
+  EXPECT_EQ(value, 3);
+}
+
+TEST(Overhead, MatchesPaperTable2) {
+  const auto rows = table2_rows();
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.number, r.paper_number) << r.entity;
+  }
+}
+
+TEST(DigitalCampaign, NearFullStuckCoverage) {
+  const auto result = run_digital_campaign(96, 11);
+  // The paper: "the circuits are logically simple... 100% coverage".
+  EXPECT_GT(result.combined.percent(), 97.0);
+  EXPECT_GT(result.hard.percent(), 90.0);
+}
+
+}  // namespace
+}  // namespace lsl::dft

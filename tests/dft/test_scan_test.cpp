@@ -1,0 +1,98 @@
+#include "dft/scan_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/structural.hpp"
+
+namespace lsl::dft {
+namespace {
+
+class ScanTestFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new cells::LinkFrontend();
+    ref_ = new ScanTestReference(scan_test_reference(*golden_, /*with_toggle=*/true));
+  }
+  static void TearDownTestSuite() {
+    delete golden_;
+    delete ref_;
+    golden_ = nullptr;
+    ref_ = nullptr;
+  }
+
+  cells::LinkFrontend faulted(const fault::StructuralFault& f) {
+    cells::LinkFrontend fe = *golden_;
+    const auto vdd = *fe.netlist().find_node("vdd");
+    EXPECT_TRUE(fault::inject(fe.netlist(), f, fault::OpenLeak::kToGround, vdd));
+    return fe;
+  }
+
+  static cells::LinkFrontend* golden_;
+  static ScanTestReference* ref_;
+};
+
+cells::LinkFrontend* ScanTestFixture::golden_ = nullptr;
+ScanTestReference* ScanTestFixture::ref_ = nullptr;
+
+TEST_F(ScanTestFixture, GoldenCpSignatureMatchesPaperSemantics) {
+  ASSERT_TRUE(ref_->cp.valid);
+  // Combo order: 00, 10 (UP), 01 (DN), 11.
+  // UP drives Vc to VDD: the capture sees Vc above VH -> (hi, lo) = (1, 0).
+  EXPECT_EQ(ref_->cp.window[1], (std::pair{true, false}));
+  // DN drives Vc to GND -> below VL -> (0, 1).
+  EXPECT_EQ(ref_->cp.window[2], (std::pair{false, true}));
+}
+
+TEST_F(ScanTestFixture, GoldenPassesItsOwnScanTest) {
+  const ScanTestOutcome out = run_scan_test(*golden_, *ref_);
+  EXPECT_FALSE(out.detected);
+}
+
+TEST_F(ScanTestFixture, PumpSwitchOpenDetectedByCpTest) {
+  // The weak UP switch open: scan mode cannot drive Vc high any more.
+  const auto out = run_scan_test(faulted({"cp.m_swup", fault::FaultClass::kDrainOpen}), *ref_);
+  EXPECT_TRUE(out.detected);
+}
+
+TEST_F(ScanTestFixture, PumpSourceDsShortMaskedInScanMode) {
+  // The paper: using the current sources as switches during scan MASKS a
+  // drain-source short in the source transistors (they are "always on"
+  // in scan mode anyway) — that fault is BIST territory.
+  const auto out =
+      run_scan_test(faulted({"cp.m_srcp", fault::FaultClass::kDrainSourceShort}), *ref_);
+  EXPECT_FALSE(out.detected);
+}
+
+TEST_F(ScanTestFixture, ScanInputSwitchFaultDetected) {
+  // The tgate that parks the window-comparator input at vmid during scan:
+  // a D-S short keeps it permanently connected, so the comparator input
+  // no longer follows Vc during the capture phase.
+  const auto out = run_scan_test(
+      faulted({"cp.sw_md.m_tn", fault::FaultClass::kDrainSourceShort}), *ref_);
+  EXPECT_TRUE(out.detected);
+}
+
+TEST_F(ScanTestFixture, TgateDynamicMismatchCaughtByToggle) {
+  // The DC-invisible tgate drain open: the toggling pattern at the scan
+  // frequency exposes the asymmetric settling.
+  const auto fe = faulted({"term.termp.m_tgn", fault::FaultClass::kDrainOpen});
+  const auto out = run_scan_test(fe, *ref_);
+  EXPECT_TRUE(out.detected);
+}
+
+TEST_F(ScanTestFixture, ToggleSignatureTogglesInGoldenMachine) {
+  ASSERT_TRUE(ref_->toggle.valid);
+  ASSERT_GE(ref_->toggle.data_hi.size(), 4u);
+  // The line comparator decisions must alternate with the data.
+  bool any_hi = false;
+  bool any_lo = false;
+  for (std::size_t i = 0; i < ref_->toggle.data_hi.size(); ++i) {
+    any_hi |= ref_->toggle.data_hi[i];
+    any_lo |= ref_->toggle.data_lo[i];
+  }
+  EXPECT_TRUE(any_hi);
+  EXPECT_TRUE(any_lo);
+}
+
+}  // namespace
+}  // namespace lsl::dft

@@ -1,0 +1,107 @@
+#include "digital/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "digital/blocks.hpp"
+
+namespace lsl::digital {
+namespace {
+
+/// Small scan-wrapped block: 3-flop chain feeding XOR/AND logic.
+struct Fixture {
+  Circuit c;
+  std::vector<std::size_t> flops;
+  ScanChain* chain = nullptr;
+  NetId out = 0;
+
+  Fixture() {
+    const NetId q0 = c.net("q0");
+    const NetId q1 = c.net("q1");
+    const NetId q2 = c.net("q2");
+    const NetId x = c.net("x");
+    const NetId a = c.net("a");
+    flops.push_back(c.add_flipflop(FlipFlop{q0, q0, {}, {}, {}}));
+    flops.push_back(c.add_flipflop(FlipFlop{q1, q1, {}, {}, {}}));
+    c.add_gate(GateType::kXor, {q0, q1}, x);
+    c.add_gate(GateType::kAnd, {x, q2}, a);
+    flops.push_back(c.add_flipflop(FlipFlop{a, q2, {}, {}, {}}));
+    chain = new ScanChain(c, "sc", flops);
+  }
+  ~Fixture() { delete chain; }
+};
+
+std::vector<MultiScanPattern> exhaustive_patterns(std::size_t n_flops) {
+  std::vector<MultiScanPattern> pats;
+  for (unsigned v = 0; v < (1u << n_flops); ++v) {
+    MultiScanPattern p;
+    std::vector<Logic> load(n_flops);
+    for (std::size_t b = 0; b < n_flops; ++b) load[b] = from_bool((v >> b) & 1u);
+    p.chain_loads.push_back(std::move(load));
+    pats.push_back(std::move(p));
+  }
+  return pats;
+}
+
+TEST(Compaction, CoversSameFaultsWithFewerPatterns) {
+  Fixture f;
+  const auto pats = exhaustive_patterns(3);
+  const auto faults = enumerate_stuck_faults(f.c);
+  const std::vector<const ScanChain*> chains = {f.chain};
+
+  const auto full_curve = coverage_vs_pattern_count(f.c, chains, pats, faults);
+  const auto compact = compact_patterns(f.c, chains, pats, faults);
+
+  // The compacted set reaches the same final coverage...
+  EXPECT_NEAR(compact.coverage.percent(), full_curve.back(), 1e-9);
+  // ...with strictly fewer patterns than the exhaustive pool.
+  EXPECT_LT(compact.selected.size(), pats.size());
+  EXPECT_GE(compact.selected.size(), 2u);
+}
+
+TEST(Compaction, CurveIsMonotone) {
+  Fixture f;
+  const auto pats = exhaustive_patterns(3);
+  const auto faults = enumerate_stuck_faults(f.c);
+  const std::vector<const ScanChain*> chains = {f.chain};
+  const auto compact = compact_patterns(f.c, chains, pats, faults);
+  for (std::size_t i = 1; i < compact.coverage_curve.size(); ++i) {
+    EXPECT_GT(compact.coverage_curve[i], compact.coverage_curve[i - 1]);
+  }
+}
+
+TEST(Compaction, GreedyPicksHighestGainFirst) {
+  Fixture f;
+  const auto pats = exhaustive_patterns(3);
+  const auto faults = enumerate_stuck_faults(f.c);
+  const std::vector<const ScanChain*> chains = {f.chain};
+  const auto compact = compact_patterns(f.c, chains, pats, faults);
+  ASSERT_GE(compact.coverage_curve.size(), 2u);
+  // First increment is the largest (greedy property).
+  const double first = compact.coverage_curve[0];
+  for (std::size_t i = 1; i < compact.coverage_curve.size(); ++i) {
+    EXPECT_LE(compact.coverage_curve[i] - compact.coverage_curve[i - 1], first + 1e-9);
+  }
+}
+
+TEST(Compaction, EmptyCandidatesEmptyResult) {
+  Fixture f;
+  const auto faults = enumerate_stuck_faults(f.c);
+  const std::vector<const ScanChain*> chains = {f.chain};
+  const auto compact = compact_patterns(f.c, chains, {}, faults);
+  EXPECT_TRUE(compact.selected.empty());
+  EXPECT_DOUBLE_EQ(compact.coverage.percent(), 0.0);
+}
+
+TEST(CoverageCurve, MatchesCampaignCoverage) {
+  Fixture f;
+  const auto pats = exhaustive_patterns(3);
+  const auto faults = enumerate_stuck_faults(f.c);
+  const std::vector<const ScanChain*> chains = {f.chain};
+  const auto curve = coverage_vs_pattern_count(f.c, chains, pats, faults);
+  // Cross-check against the campaign runner (hard detects only).
+  const auto campaign = run_stuck_campaign_multi(f.c, chains, pats, faults);
+  EXPECT_NEAR(curve.back(), campaign.hard.percent(), 1e-9);
+}
+
+}  // namespace
+}  // namespace lsl::digital

@@ -1,0 +1,56 @@
+#include "digital/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::digital {
+namespace {
+
+TEST(Logic, NotTruthTable) {
+  EXPECT_EQ(logic_not(Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_not(Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_not(Logic::kX), Logic::kX);
+}
+
+TEST(Logic, AndTruthTable) {
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_and(Logic::k1, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_and(Logic::k0, Logic::kX), Logic::k0);  // controlling value
+  EXPECT_EQ(logic_and(Logic::k1, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_and(Logic::kX, Logic::kX), Logic::kX);
+}
+
+TEST(Logic, OrTruthTable) {
+  EXPECT_EQ(logic_or(Logic::k0, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_or(Logic::k1, Logic::kX), Logic::k1);  // controlling value
+  EXPECT_EQ(logic_or(Logic::k0, Logic::kX), Logic::kX);
+}
+
+TEST(Logic, XorTruthTable) {
+  EXPECT_EQ(logic_xor(Logic::k0, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_xor(Logic::k1, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::kX, Logic::k0), Logic::kX);
+}
+
+TEST(Logic, MuxSelectsAndPessimism) {
+  EXPECT_EQ(logic_mux(Logic::k0, Logic::k1, Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_mux(Logic::k1, Logic::k1, Logic::k0), Logic::k0);
+  EXPECT_EQ(logic_mux(Logic::kX, Logic::k1, Logic::k1), Logic::k1);  // agree
+  EXPECT_EQ(logic_mux(Logic::kX, Logic::k1, Logic::k0), Logic::kX);  // disagree
+  EXPECT_EQ(logic_mux(Logic::kX, Logic::kX, Logic::kX), Logic::kX);
+}
+
+TEST(Logic, ToBoolThrowsOnX) {
+  EXPECT_TRUE(to_bool(Logic::k1));
+  EXPECT_FALSE(to_bool(Logic::k0));
+  EXPECT_THROW(to_bool(Logic::kX), std::logic_error);
+}
+
+TEST(Logic, CharRendering) {
+  EXPECT_EQ(logic_char(Logic::k0), '0');
+  EXPECT_EQ(logic_char(Logic::k1), '1');
+  EXPECT_EQ(logic_char(Logic::kX), 'X');
+}
+
+}  // namespace
+}  // namespace lsl::digital

@@ -1,0 +1,143 @@
+#include "fault/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/structural.hpp"
+
+namespace lsl::fault {
+namespace {
+
+cells::LinkFrontend faulted(const cells::LinkFrontend& golden, const StructuralFault& f,
+                            OpenLeak leak = OpenLeak::kToGround) {
+  cells::LinkFrontend fe = golden;
+  const auto vdd = *fe.netlist().find_node("vdd");
+  EXPECT_TRUE(inject(fe.netlist(), f, leak, vdd));
+  return fe;
+}
+
+class CharacterizeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new cells::LinkFrontend();
+    golden_m_ = new FrontendMeasurements(measure_frontend(*golden_));
+  }
+  static void TearDownTestSuite() {
+    delete golden_;
+    delete golden_m_;
+    golden_ = nullptr;
+    golden_m_ = nullptr;
+  }
+  static cells::LinkFrontend* golden_;
+  static FrontendMeasurements* golden_m_;
+};
+
+cells::LinkFrontend* CharacterizeFixture::golden_ = nullptr;
+FrontendMeasurements* CharacterizeFixture::golden_m_ = nullptr;
+
+TEST_F(CharacterizeFixture, GoldenMeasuresHealthy) {
+  const FrontendMeasurements& m = *golden_m_;
+  ASSERT_TRUE(m.converged);
+  EXPECT_GT(m.diff1, 0.02);
+  EXPECT_LT(m.diff0, -0.02);
+  EXPECT_GT(m.i_up, 1e-6);   // microamp-class pump currents
+  EXPECT_GT(m.i_dn, 1e-6);
+  EXPECT_GT(m.i_upst, 2.0 * m.i_up);  // strong pump really is stronger
+  EXPECT_GT(m.i_dnst, 2.0 * m.i_dn);
+  EXPECT_LT(std::fabs(m.leak), 0.2e-6);
+  EXPECT_NEAR(m.vp_at_mid, 0.6, 0.25);
+  // Window comparator truth table.
+  EXPECT_TRUE(m.win_hi_at_high);
+  EXPECT_FALSE(m.win_hi_at_mid);
+  EXPECT_TRUE(m.win_lo_at_low);
+  EXPECT_FALSE(m.win_lo_at_mid);
+}
+
+TEST_F(CharacterizeFixture, GoldenSignatureIsNeutral) {
+  const BehavioralSignature sig = derive_signature(*golden_m_, *golden_m_);
+  ASSERT_TRUE(sig.characterized);
+  EXPECT_NEAR(sig.swing_scale, 1.0, 1e-9);
+  EXPECT_NEAR(sig.offset_shift, 0.0, 1e-9);
+  EXPECT_NEAR(sig.i_up_scale, 1.0, 1e-9);
+  EXPECT_NEAR(sig.i_dn_scale, 1.0, 1e-9);
+  EXPECT_NEAR(sig.leak, 0.0, 1e-15);
+  EXPECT_FALSE(sig.balance_broken);
+  EXPECT_FALSE(sig.sync_faults.window_dead);
+}
+
+TEST_F(CharacterizeFixture, WeakDriverOpenShrinksSwing) {
+  const auto fe = faulted(*golden_, {"tx.p.m_drvn", FaultClass::kSourceOpen});
+  const auto m = measure_frontend(fe);
+  ASSERT_TRUE(m.converged);
+  const auto sig = derive_signature(*golden_m_, m);
+  // Losing the P-arm pulldown skews the differential swing.
+  EXPECT_LT(sig.swing_scale, 0.95);
+}
+
+TEST_F(CharacterizeFixture, PumpSourceOpenKillsUpCurrent) {
+  const auto fe = faulted(*golden_, {"cp.m_srcp", FaultClass::kDrainOpen});
+  const auto m = measure_frontend(fe);
+  ASSERT_TRUE(m.converged);
+  const auto sig = derive_signature(*golden_m_, m);
+  EXPECT_LT(sig.i_up_scale, 0.1);
+  // The strong pump path is independent and must stay healthy.
+  EXPECT_GT(sig.strong_scale, 0.7);
+}
+
+TEST_F(CharacterizeFixture, PumpSwitchDsShortLeaks) {
+  // D-S short on the weak UP switch: the current source is permanently
+  // connected to Vc -> leakage charges Vc up.
+  const auto fe = faulted(*golden_, {"cp.m_swup", FaultClass::kDrainSourceShort});
+  const auto m = measure_frontend(fe);
+  ASSERT_TRUE(m.converged);
+  const auto sig = derive_signature(*golden_m_, m);
+  EXPECT_GT(sig.leak, 1e-6);
+}
+
+TEST_F(CharacterizeFixture, BalancePathFaultOffsetsVp) {
+  // Break the DN steering branch: only the P source feeds Vp, which
+  // drifts toward VDD — the exact failure the CP-BIST watches.
+  const auto fe = faulted(*golden_, {"cp.m_swdnb", FaultClass::kDrainOpen});
+  const auto m = measure_frontend(fe);
+  ASSERT_TRUE(m.converged);
+  const auto sig = derive_signature(*golden_m_, m);
+  EXPECT_GT(std::fabs(sig.vp_offset), 0.1);
+}
+
+TEST_F(CharacterizeFixture, WindowComparatorFaultFlagsDeadSide) {
+  // Open the hi comparator's output-inverter PMOS drain: the output can
+  // never pull high, so the comparator can never assert.
+  const auto fe = faulted(*golden_, {"cp.cmp_hi.m_invp", FaultClass::kDrainOpen});
+  const auto m = measure_frontend(fe);
+  ASSERT_TRUE(m.converged);
+  EXPECT_FALSE(m.win_hi_at_high);
+}
+
+TEST_F(CharacterizeFixture, ApplySignatureMapsOntoLinkParams) {
+  BehavioralSignature sig;
+  sig.swing_scale = 0.5;
+  sig.offset_shift = 0.01;
+  sig.i_up_scale = 0.2;
+  sig.leak = 2e-6;
+  sig.vp_offset = 0.4;
+  sig.balance_broken = true;
+  const lsl::link::LinkParams base;
+  const lsl::link::LinkParams p = apply_signature(base, sig);
+  EXPECT_DOUBLE_EQ(p.channel.drive_scale_p, 0.5);
+  EXPECT_DOUBLE_EQ(p.slicer_offset, 0.01);
+  EXPECT_DOUBLE_EQ(p.sync.pump.i_up, base.sync.pump.i_up * 0.2);
+  EXPECT_DOUBLE_EQ(p.sync.pump.leak, 2e-6);
+  EXPECT_TRUE(p.sync.pump.balance_broken);
+  EXPECT_GT(p.sync.pump.vp_drift, 0.0);
+}
+
+TEST_F(CharacterizeFixture, UncharacterizableFaultReported) {
+  FrontendMeasurements bad;
+  bad.converged = false;
+  const auto sig = derive_signature(*golden_m_, bad);
+  EXPECT_FALSE(sig.characterized);
+}
+
+}  // namespace
+}  // namespace lsl::fault

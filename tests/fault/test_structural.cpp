@@ -1,0 +1,147 @@
+#include "fault/structural.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.hpp"
+
+namespace lsl::fault {
+namespace {
+
+using spice::kGround;
+using spice::Mosfet;
+using spice::MosType;
+using spice::Netlist;
+using spice::NodeId;
+using spice::Resistor;
+using spice::VSource;
+
+/// NMOS common-source stage: vdd - R - out, NMOS(out, in, gnd).
+struct Stage {
+  Netlist nl;
+  NodeId vdd;
+  NodeId out;
+  NodeId in;
+
+  Stage() {
+    vdd = nl.node("vdd");
+    out = nl.node("out");
+    in = nl.node("in");
+    nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+    // Finite driver impedance, as in the real link frontend: a 1-ohm
+    // short at the gate must win against the driver.
+    const NodeId in_drv = nl.node("in_drv");
+    nl.add("v_in", VSource{in_drv, kGround, 1.2});
+    nl.add("r_drv", Resistor{in_drv, in, 2e3});
+    nl.add("r_load", Resistor{vdd, out, 100e3});
+    nl.add("m1", Mosfet{out, in, kGround, MosType::kNmos, 2e-6, 0.5e-6, 0.0});
+    nl.add("c1", spice::Capacitor{out, kGround, 1e-12});
+  }
+
+  double vout() {
+    const auto r = spice::solve_dc(nl);
+    EXPECT_TRUE(r.converged);
+    return r.v(nl, "out");
+  }
+};
+
+TEST(Enumerate, SixPerMosfetOnePerCap) {
+  Stage s;
+  const auto faults = enumerate_structural_faults(s.nl);
+  // One MOSFET (6) + one capacitor (1).
+  EXPECT_EQ(faults.size(), 7u);
+  for (const FaultClass c : kAllFaultClasses) {
+    EXPECT_EQ(count_class(faults, c), 1u) << fault_class_name(c);
+  }
+}
+
+TEST(Enumerate, PrefixFilter) {
+  Stage s;
+  EXPECT_TRUE(enumerate_structural_faults(s.nl, {"zz."}).empty());
+  EXPECT_EQ(enumerate_structural_faults(s.nl, {"m"}).size(), 6u);
+  EXPECT_EQ(enumerate_structural_faults(s.nl, {"m", "c"}).size(), 7u);
+}
+
+TEST(Inject, DrainSourceShortPullsOutputLow) {
+  Stage s;
+  // Gate low: transistor off, out = vdd. A D-S short defeats that.
+  std::get<VSource>(s.nl.device(*s.nl.find_device("v_in")).impl).volts = 0.0;
+  EXPECT_GT(s.vout(), 1.1);
+  Stage f;
+  std::get<VSource>(f.nl.device(*f.nl.find_device("v_in")).impl).volts = 0.0;
+  ASSERT_TRUE(inject(f.nl, {"m1", FaultClass::kDrainSourceShort}, OpenLeak::kToGround, f.vdd));
+  EXPECT_LT(f.vout(), 0.1);
+}
+
+TEST(Inject, DrainOpenKillsPullDown) {
+  Stage f;
+  ASSERT_TRUE(inject(f.nl, {"m1", FaultClass::kDrainOpen}, OpenLeak::kToGround, f.vdd));
+  // Gate high but drain disconnected: output floats to vdd via load.
+  EXPECT_GT(f.vout(), 1.1);
+}
+
+TEST(Inject, SourceOpenKillsPullDown) {
+  Stage f;
+  ASSERT_TRUE(inject(f.nl, {"m1", FaultClass::kSourceOpen}, OpenLeak::kToGround, f.vdd));
+  EXPECT_GT(f.vout(), 1.1);
+}
+
+TEST(Inject, GateOpenVariantsDiffer) {
+  // Leak to ground: NMOS off, out high. Leak to vdd: NMOS on, out low.
+  Stage a;
+  ASSERT_TRUE(inject(a.nl, {"m1", FaultClass::kGateOpen}, OpenLeak::kToGround, a.vdd));
+  EXPECT_GT(a.vout(), 1.1);
+  Stage b;
+  ASSERT_TRUE(inject(b.nl, {"m1", FaultClass::kGateOpen}, OpenLeak::kToVdd, b.vdd));
+  EXPECT_LT(b.vout(), 0.3);
+}
+
+TEST(Inject, GateSourceShortTurnsDeviceOff) {
+  Stage f;
+  ASSERT_TRUE(inject(f.nl, {"m1", FaultClass::kGateSourceShort}, OpenLeak::kToGround, f.vdd));
+  // Vgs = 0: off despite the driven gate. Output floats high. (The gate
+  // drive source now fights the 1-ohm bridge, but the bridge wins at the
+  // transistor terminal.)
+  EXPECT_GT(f.vout(), 1.1);
+}
+
+TEST(Inject, GateDrainShortDiodeConnects) {
+  // Fault-free the output sits near ground (gate hard on). The G-D short
+  // diode-connects the device: the output rises to the diode bias point
+  // set by the pull-up paths — clearly distinguishable from both rails.
+  Stage healthy;
+  EXPECT_LT(healthy.vout(), 0.1);
+  Stage f;
+  ASSERT_TRUE(inject(f.nl, {"m1", FaultClass::kGateDrainShort}, OpenLeak::kToGround, f.vdd));
+  const double v = f.vout();
+  EXPECT_GT(v, 0.4);
+  EXPECT_LT(v, 1.1);
+}
+
+TEST(Inject, CapacitorShortMakesDcPath) {
+  Stage f;
+  std::get<VSource>(f.nl.device(*f.nl.find_device("v_in")).impl).volts = 0.0;
+  ASSERT_TRUE(inject(f.nl, {"c1", FaultClass::kCapacitorShort}, OpenLeak::kToGround, f.vdd));
+  // The shorted cap ties out to ground even with the NMOS off.
+  EXPECT_LT(f.vout(), 0.1);
+}
+
+TEST(Inject, MissingDeviceRejected) {
+  Stage f;
+  EXPECT_FALSE(inject(f.nl, {"nope", FaultClass::kDrainOpen}, OpenLeak::kToGround, f.vdd));
+}
+
+TEST(Inject, WrongKindRejected) {
+  Stage f;
+  EXPECT_FALSE(inject(f.nl, {"r_load", FaultClass::kDrainOpen}, OpenLeak::kToGround, f.vdd));
+  EXPECT_FALSE(inject(f.nl, {"m1", FaultClass::kCapacitorShort}, OpenLeak::kToGround, f.vdd));
+}
+
+TEST(FaultClassNames, AllDistinct) {
+  std::vector<std::string> names;
+  for (const FaultClass c : kAllFaultClasses) names.push_back(fault_class_name(c));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace lsl::fault

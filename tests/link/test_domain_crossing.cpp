@@ -1,0 +1,54 @@
+#include "link/domain_crossing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::link {
+namespace {
+
+constexpr double kT = 400e-12;
+
+TEST(DomainCrossing, EarlySampleUsesFullCycle) {
+  // Sample just after the receiver edge: plenty of slack to the next
+  // rising edge.
+  const CrossingDecision d = decide_crossing(0.1 * kT, kT);
+  EXPECT_EQ(d.mode, RetimeMode::kFullCycle);
+  EXPECT_NEAR(d.slack, 0.9 * kT, 1e-15);
+  EXPECT_DOUBLE_EQ(d.latency_cycles, 1.0);
+}
+
+TEST(DomainCrossing, LateSampleUsesHalfCycle) {
+  // Sample close to the next receiver edge: the paper's half-cycle rule.
+  const CrossingDecision d = decide_crossing(0.9 * kT, kT);
+  EXPECT_EQ(d.mode, RetimeMode::kHalfCycle);
+  EXPECT_DOUBLE_EQ(d.latency_cycles, 0.5);
+}
+
+TEST(DomainCrossing, BoundaryAtHalfPeriod) {
+  const CrossingDecision just_before = decide_crossing(0.499 * kT, kT);
+  const CrossingDecision just_after = decide_crossing(0.501 * kT, kT);
+  EXPECT_EQ(just_before.mode, RetimeMode::kFullCycle);
+  EXPECT_EQ(just_after.mode, RetimeMode::kHalfCycle);
+}
+
+TEST(DomainCrossing, WrapsModuloPeriod) {
+  const CrossingDecision a = decide_crossing(0.25 * kT, kT);
+  const CrossingDecision b = decide_crossing(2.25 * kT, kT);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_NEAR(a.slack, b.slack, 1e-15);
+  const CrossingDecision c = decide_crossing(-0.75 * kT, kT);
+  EXPECT_EQ(a.mode, c.mode);
+}
+
+TEST(DomainCrossing, SlackAlwaysAtLeastHalfPeriod) {
+  // Property: the half/full-cycle rule guarantees >= T/2 slack at every
+  // sampling position — the whole point of the retiming mux.
+  for (int i = 0; i < 200; ++i) {
+    const double s = kT * i / 200.0;
+    const CrossingDecision d = decide_crossing(s, kT);
+    EXPECT_GE(d.slack, kT / 2.0 - 1e-15) << "offset " << s;
+    EXPECT_TRUE(crossing_is_safe(d, kT / 2.0 - 1e-15));
+  }
+}
+
+}  // namespace
+}  // namespace lsl::link

@@ -1,0 +1,61 @@
+#include "link/multilane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::link {
+namespace {
+
+TEST(MultiLane, AllLanesPassWhenHealthy) {
+  MultiLaneParams p;
+  p.lanes = 4;
+  MultiLaneLink bus(p);
+  const auto report = bus.test_all(500);
+  ASSERT_EQ(report.lanes.size(), 4u);
+  EXPECT_TRUE(report.all_pass);
+  for (const auto& lane : report.lanes) {
+    EXPECT_TRUE(lane.bist.pass()) << "lane " << lane.lane;
+    EXPECT_EQ(lane.traffic.errors, 0u) << "lane " << lane.lane;
+  }
+}
+
+TEST(MultiLane, SkewMakesLanesLockDifferentPhases) {
+  // 55 ps of skew per lane across 8 lanes spans > 4 DLL phase steps:
+  // the per-lane synchronizers must absorb it with different coarse
+  // selections.
+  MultiLaneParams p;
+  p.lanes = 8;
+  MultiLaneLink bus(p);
+  const auto report = bus.test_all(200);
+  EXPECT_GE(report.distinct_phases, 3u);
+}
+
+TEST(MultiLane, LaneParamsApplySkew) {
+  MultiLaneParams p;
+  MultiLaneLink bus(p);
+  const auto p0 = bus.lane_params(0);
+  const auto p3 = bus.lane_params(3);
+  EXPECT_DOUBLE_EQ(p3.latency - p0.latency, 3 * p.skew_per_lane);
+}
+
+TEST(MultiLane, ConcurrentBistSchedulingWins) {
+  MultiLaneParams p;
+  p.lanes = 16;
+  MultiLaneLink bus(p);
+  const auto report = bus.test_all(100);
+  EXPECT_LT(report.test_time_scheduled, report.test_time_sequential);
+  // The saving is (n-1) BIST slots.
+  EXPECT_NEAR(report.test_time_sequential - report.test_time_scheduled,
+              15.0 * p.bist_time_per_lane, 1e-12);
+}
+
+TEST(MultiLane, BrokenLaneFlagsTheBus) {
+  MultiLaneParams p;
+  p.lanes = 3;
+  p.base.sync.faults.pd_dead = true;  // every lane's PD broken
+  MultiLaneLink bus(p);
+  const auto report = bus.test_all(200);
+  EXPECT_FALSE(report.all_pass);
+}
+
+}  // namespace
+}  // namespace lsl::link

@@ -1,0 +1,104 @@
+#include "spice/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lsl::spice {
+namespace {
+
+TEST(LogFrequencies, SpansDecades) {
+  const auto f = log_frequencies(1e3, 1e6, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[0], 1e3, 1e-6);
+  EXPECT_NEAR(f[1], 1e4, 1e-3);
+  EXPECT_NEAR(f[3], 1e6, 1e-1);
+}
+
+TEST(Ac, RcLowPassPole) {
+  // R = 1k, C = 159.15 pF -> f_3dB = 1 MHz.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add("vin", VSource{in, kGround, 0.0});
+  nl.add("r1", Resistor{in, out, 1e3});
+  nl.add("c1", Capacitor{out, kGround, 159.155e-12});
+
+  const auto freqs = std::vector<double>{1e4, 1e6, 1e8};
+  const auto r = run_ac(nl, "vin", freqs, {"out"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.mag_db("out", 0), 0.0, 0.1);    // passband
+  EXPECT_NEAR(r.mag_db("out", 1), -3.01, 0.1);  // pole
+  EXPECT_NEAR(r.mag_db("out", 2), -40.0, 0.5);  // -20 dB/dec, 2 decades
+  // Phase: -45 degrees at the pole.
+  EXPECT_NEAR(r.phase_deg("out", 1), -45.0, 1.0);
+}
+
+TEST(Ac, CrHighPassZero) {
+  // C = 1 nF into R = 1k: f_3dB = 159 kHz, passband at high f.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add("vin", VSource{in, kGround, 0.0});
+  nl.add("c1", Capacitor{in, out, 1e-9});
+  nl.add("r1", Resistor{out, kGround, 1e3});
+  const auto r = run_ac(nl, "vin", {1e3, 159.155e3, 1e8}, {"out"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.mag_db("out", 0), -40.0);
+  EXPECT_NEAR(r.mag_db("out", 1), -3.01, 0.1);
+  EXPECT_NEAR(r.mag_db("out", 2), 0.0, 0.05);
+}
+
+TEST(Ac, VoltageDividerFlat) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add("vin", VSource{in, kGround, 0.0});
+  nl.add("r1", Resistor{in, out, 3e3});
+  nl.add("r2", Resistor{out, kGround, 1e3});
+  const auto r = run_ac(nl, "vin", log_frequencies(1e3, 1e9, 5), {"out"});
+  ASSERT_TRUE(r.ok);
+  for (std::size_t i = 0; i < r.freq.size(); ++i) {
+    EXPECT_NEAR(r.mag("out", i), 0.25, 1e-9) << "f=" << r.freq[i];
+  }
+}
+
+TEST(Ac, CommonSourceAmpGain) {
+  // Resistor-loaded NMOS common-source stage biased in saturation: the
+  // low-frequency AC gain must equal gm*(RL || ro) from the model.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add("vdd", VSource{vdd, kGround, 1.2});
+  nl.add("vin", VSource{in, kGround, 0.55});  // bias above VT
+  nl.add("rl", Resistor{vdd, out, 30e3});
+  nl.add("m1", Mosfet{out, in, kGround, MosType::kNmos, 2e-6, 0.5e-6, 0.0});
+
+  const auto r = run_ac(nl, "vin", {1e3}, {"out"});
+  ASSERT_TRUE(r.ok);
+  const double gain = r.mag("out", 0);
+  EXPECT_GT(gain, 2.0);   // a real amplifier
+  EXPECT_LT(gain, 60.0);  // bounded by gm*RL for these sizes
+
+  // Adding load capacitance must roll the gain off.
+  nl.add("cl", Capacitor{out, kGround, 1e-12});
+  const auto hi = run_ac(nl, "vin", {1e3, 1e9}, {"out"});
+  ASSERT_TRUE(hi.ok);
+  EXPECT_LT(hi.mag("out", 1), 0.5 * hi.mag("out", 0));
+}
+
+TEST(Ac, UnknownSourceThrows) {
+  Netlist nl;
+  nl.add("v1", VSource{nl.node("a"), kGround, 0.0});
+  EXPECT_THROW(run_ac(nl, "nope", {1e6}), std::invalid_argument);
+}
+
+TEST(Ac, UnknownProbeThrows) {
+  Netlist nl;
+  nl.add("v1", VSource{nl.node("a"), kGround, 0.0});
+  EXPECT_THROW(run_ac(nl, "v1", {1e6}, {"missing"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsl::spice

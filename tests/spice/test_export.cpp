@@ -1,0 +1,67 @@
+#include "spice/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::spice {
+namespace {
+
+Netlist tiny() {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId out = nl.node("n.1");  // punctuation in the name
+  nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+  nl.add("r1", Resistor{vdd, out, 10e3});
+  nl.add("c1", Capacitor{out, kGround, 1e-12});
+  nl.add("m1", Mosfet{out, vdd, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0});
+  nl.add("e1", Vcvs{nl.node("buf"), kGround, out, kGround, 2.0});
+  nl.add("i1", ISource{vdd, out, 1e-6});
+  return nl;
+}
+
+TEST(Export, ContainsEveryDeviceWithPrefix) {
+  const std::string deck = export_spice(tiny());
+  EXPECT_NE(deck.find("Vv_vdd vdd 0 DC 1.2"), std::string::npos);
+  EXPECT_NE(deck.find("Rr1 vdd n_1 10000"), std::string::npos);
+  EXPECT_NE(deck.find("Cc1 n_1 0 1e-12"), std::string::npos);
+  EXPECT_NE(deck.find("Mm1 n_1 vdd 0 0 lsl_nmos"), std::string::npos);
+  EXPECT_NE(deck.find("Ee1 buf 0 n_1 0 2"), std::string::npos);
+  EXPECT_NE(deck.find("Ii1 vdd n_1 DC 1e-06"), std::string::npos);
+  EXPECT_NE(deck.find(".END"), std::string::npos);
+}
+
+TEST(Export, ModelCardsPresent) {
+  const std::string deck = export_spice(tiny());
+  EXPECT_NE(deck.find(".MODEL lsl_nmos NMOS"), std::string::npos);
+  EXPECT_NE(deck.find(".MODEL lsl_pmos PMOS"), std::string::npos);
+  ExportOptions opts;
+  opts.with_models = false;
+  EXPECT_EQ(export_spice(tiny(), opts).find(".MODEL"), std::string::npos);
+}
+
+TEST(Export, GroundIsNodeZero) {
+  Netlist nl;
+  nl.add("r1", Resistor{nl.node("a"), kGround, 1.0});
+  const std::string deck = export_spice(nl);
+  EXPECT_NE(deck.find("Rr1 a 0 1"), std::string::npos);
+}
+
+TEST(Export, DisabledDeviceCommented) {
+  Netlist nl;
+  const std::size_t i = nl.add("r1", Resistor{nl.node("a"), kGround, 1.0});
+  nl.device(i).enabled = false;
+  const std::string deck = export_spice(nl);
+  EXPECT_NE(deck.find("* (disabled) Rr1"), std::string::npos);
+  ExportOptions opts;
+  opts.keep_disabled_as_comments = false;
+  EXPECT_EQ(export_spice(nl, opts).find("Rr1"), std::string::npos);
+}
+
+TEST(Export, TitleOnFirstLine) {
+  ExportOptions opts;
+  opts.title = "faulted frontend";
+  const std::string deck = export_spice(tiny(), opts);
+  EXPECT_EQ(deck.rfind("* faulted frontend\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace lsl::spice

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dc.hpp"
+#include "spice/stamp.hpp"
+
+namespace lsl::spice {
+namespace {
+
+constexpr double kVdd = 1.2;
+
+ModelCard card() { return ModelCard{}; }
+
+TEST(MosfetEval, NmosCutoff) {
+  Mosfet m{1, 2, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0};
+  const MosEval e = eval_mosfet(m, card(), 1.2, 0.0, 0.0);
+  EXPECT_NEAR(e.id, 0.0, 1e-9);
+}
+
+TEST(MosfetEval, NmosSaturationSquareLaw) {
+  Mosfet m{1, 2, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0};
+  const ModelCard c = card();
+  const double vgs = 0.8;
+  const double vds = 1.2;  // > vov = 0.46 => saturation
+  const MosEval e = eval_mosfet(m, c, vds, vgs, 0.0);
+  const double beta = c.kp_n * (1e-6 / 0.5e-6);
+  const double vov = vgs - c.vt_n;
+  const double expected = 0.5 * beta * vov * vov * (1.0 + c.lambda_n * vds);
+  EXPECT_NEAR(e.id, expected, 1e-12);
+  EXPECT_GT(e.d_vg, 0.0);  // gm positive
+  EXPECT_GT(e.d_vd, 0.0);  // output conductance positive
+}
+
+TEST(MosfetEval, NmosTriodeCurrentBelowSaturation) {
+  Mosfet m{1, 2, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0};
+  const ModelCard c = card();
+  const MosEval triode = eval_mosfet(m, c, 0.05, 1.2, 0.0);
+  const MosEval sat = eval_mosfet(m, c, 1.2, 1.2, 0.0);
+  EXPECT_GT(sat.id, triode.id);
+  EXPECT_GT(triode.id, 0.0);
+}
+
+TEST(MosfetEval, ReverseConductionIsAntisymmetric) {
+  // Swapping drain and source voltages must flip the current sign
+  // (square-law device is symmetric).
+  Mosfet m{1, 2, 3, MosType::kNmos, 1e-6, 0.5e-6, 0.0};
+  const MosEval fwd = eval_mosfet(m, card(), 0.6, 1.2, 0.1);
+  const MosEval rev = eval_mosfet(m, card(), 0.1, 1.2, 0.6);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-15);
+}
+
+TEST(MosfetEval, PmosConductsWithLowGate) {
+  Mosfet m{1, 2, 3, MosType::kPmos, 1e-6, 0.5e-6, 0.0};
+  // Source at VDD, gate at 0, drain at 0.6: PMOS on, current flows
+  // source->drain, i.e. negative in the d->s convention.
+  const MosEval e = eval_mosfet(m, card(), 0.6, 0.0, kVdd);
+  EXPECT_LT(e.id, 0.0);
+}
+
+TEST(MosfetEval, PmosOffWithHighGate) {
+  Mosfet m{1, 2, 3, MosType::kPmos, 1e-6, 0.5e-6, 0.0};
+  const MosEval e = eval_mosfet(m, card(), 0.6, kVdd, kVdd);
+  EXPECT_NEAR(e.id, 0.0, 1e-9);
+}
+
+TEST(MosfetEval, DerivativesMatchFiniteDifference) {
+  // Property check across bias points and both device types.
+  const ModelCard c = card();
+  const double h = 1e-7;
+  for (const MosType type : {MosType::kNmos, MosType::kPmos}) {
+    Mosfet m{1, 2, 3, type, 2e-6, 0.5e-6, 0.0};
+    for (double vd : {0.0, 0.2, 0.61, 1.2}) {
+      for (double vg : {0.0, 0.45, 0.8, 1.2}) {
+        for (double vs : {0.0, 0.3, 1.2}) {
+          const MosEval e = eval_mosfet(m, c, vd, vg, vs);
+          const double dd =
+              (eval_mosfet(m, c, vd + h, vg, vs).id - eval_mosfet(m, c, vd - h, vg, vs).id) /
+              (2 * h);
+          const double dg =
+              (eval_mosfet(m, c, vd, vg + h, vs).id - eval_mosfet(m, c, vd, vg - h, vs).id) /
+              (2 * h);
+          const double ds =
+              (eval_mosfet(m, c, vd, vg, vs + h).id - eval_mosfet(m, c, vd, vg, vs - h).id) /
+              (2 * h);
+          const double tol = 1e-4 * (std::fabs(e.id) + 1e-6) / 1e-6 * 1e-6 + 1e-7;
+          EXPECT_NEAR(e.d_vd, dd, tol) << "vd=" << vd << " vg=" << vg << " vs=" << vs;
+          EXPECT_NEAR(e.d_vg, dg, tol) << "vd=" << vd << " vg=" << vg << " vs=" << vs;
+          EXPECT_NEAR(e.d_vs, ds, tol) << "vd=" << vd << " vg=" << vg << " vs=" << vs;
+        }
+      }
+    }
+  }
+}
+
+TEST(MosfetDc, NmosInverterSwitches) {
+  // Resistor-loaded NMOS inverter: output high with gate low, low with
+  // gate high.
+  auto build = [](double vin) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd");
+    const NodeId out = nl.node("out");
+    const NodeId in = nl.node("in");
+    nl.add("vdd", VSource{vdd, kGround, kVdd});
+    nl.add("vin", VSource{in, kGround, vin});
+    nl.add("rl", Resistor{vdd, out, 100e3});
+    nl.add("m1", Mosfet{out, in, kGround, MosType::kNmos, 2e-6, 0.5e-6, 0.0});
+    return nl;
+  };
+  {
+    const Netlist nl = build(0.0);
+    const DcResult r = solve_dc(nl);
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.v(nl, "out"), 1.1);
+  }
+  {
+    const Netlist nl = build(kVdd);
+    const DcResult r = solve_dc(nl);
+    ASSERT_TRUE(r.converged);
+    EXPECT_LT(r.v(nl, "out"), 0.2);
+  }
+}
+
+TEST(MosfetDc, CmosInverterTransfersMonotonically) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId out = nl.node("out");
+  const NodeId in = nl.node("in");
+  nl.add("vdd", VSource{vdd, kGround, kVdd});
+  nl.add("vin", VSource{in, kGround, 0.0});
+  nl.add("mp", Mosfet{out, in, vdd, MosType::kPmos, 2e-6, 0.5e-6, 0.0});
+  nl.add("mn", Mosfet{out, in, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0});
+
+  std::vector<double> values;
+  for (int i = 0; i <= 24; ++i) values.push_back(kVdd * i / 24.0);
+  const auto results = dc_sweep(nl, "vin", values);
+  double prev = kVdd + 0.1;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].converged) << "vin=" << values[i];
+    const double vout = results[i].v(nl, "out");
+    EXPECT_LE(vout, prev + 1e-6) << "vin=" << values[i];
+    prev = vout;
+  }
+  EXPECT_GT(results.front().v(nl, "out"), 1.15);
+  EXPECT_LT(results.back().v(nl, "out"), 0.05);
+}
+
+TEST(MosfetDc, DiodeConnectedBias) {
+  // Diode-connected NMOS with a current source: VGS settles above VT.
+  Netlist nl;
+  const NodeId n = nl.node("bias");
+  const NodeId vdd = nl.node("vdd");
+  nl.add("vdd", VSource{vdd, kGround, kVdd});
+  nl.add("r1", Resistor{vdd, n, 20e3});
+  nl.add("m1", Mosfet{n, n, kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0});
+  const DcResult r = solve_dc(nl);
+  ASSERT_TRUE(r.converged);
+  const double vbias = r.v(nl, "bias");
+  EXPECT_GT(vbias, 0.34);
+  EXPECT_LT(vbias, 0.9);
+}
+
+TEST(MosfetDc, CurrentMirrorCopies) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId ref = nl.node("ref");
+  const NodeId out = nl.node("out");
+  nl.add("vdd", VSource{vdd, kGround, kVdd});
+  nl.add("iref", ISource{vdd, ref, 20e-6});
+  nl.add("m1", Mosfet{ref, ref, kGround, MosType::kNmos, 2e-6, 0.5e-6, 0.0});
+  nl.add("m2", Mosfet{out, ref, kGround, MosType::kNmos, 2e-6, 0.5e-6, 0.0});
+  nl.add("vmeas", VSource{vdd, out, 0.5});  // holds out at 0.7V, measures current
+  const DcResult r = solve_dc(nl);
+  ASSERT_TRUE(r.converged);
+  // Mirror output current within ~20% of reference (lambda mismatch
+  // between VDS of the two legs accounts for the error).
+  EXPECT_NEAR(r.i(nl, "vmeas"), 20e-6, 5e-6);
+}
+
+}  // namespace
+}  // namespace lsl::spice

@@ -1,0 +1,83 @@
+#include "spice/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::spice {
+namespace {
+
+TEST(Netlist, GroundIsNodeZero) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node_count(), 1u);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  EXPECT_EQ(nl.node("a"), a);
+  EXPECT_EQ(nl.node_count(), 2u);
+  EXPECT_EQ(nl.node_name(a), "a");
+}
+
+TEST(Netlist, FindNodeMissing) {
+  Netlist nl;
+  EXPECT_FALSE(nl.find_node("nope").has_value());
+}
+
+TEST(Netlist, FreshNodesAreUnique) {
+  Netlist nl;
+  const NodeId a = nl.fresh_node("x");
+  const NodeId b = nl.fresh_node("x");
+  EXPECT_NE(a, b);
+  EXPECT_NE(nl.node_name(a), nl.node_name(b));
+}
+
+TEST(Netlist, DuplicateDeviceNameThrows) {
+  Netlist nl;
+  nl.add("r1", Resistor{nl.node("a"), kGround, 1e3});
+  EXPECT_THROW(nl.add("r1", Resistor{nl.node("b"), kGround, 1e3}), std::invalid_argument);
+}
+
+TEST(Netlist, UnknownCountCountsBranches) {
+  Netlist nl;
+  nl.add("v1", VSource{nl.node("a"), kGround, 1.0});
+  nl.add("r1", Resistor{nl.node("a"), nl.node("b"), 1e3});
+  nl.add("e1", Vcvs{nl.node("c"), kGround, nl.node("b"), kGround, 2.0});
+  // Nodes a,b,c => 3 voltage unknowns; v1 and e1 => 2 branch currents.
+  EXPECT_EQ(nl.unknown_count(), 5u);
+}
+
+TEST(Netlist, DisabledDeviceHasNoBranch) {
+  Netlist nl;
+  const std::size_t vi = nl.add("v1", VSource{nl.node("a"), kGround, 1.0});
+  EXPECT_EQ(nl.unknown_count(), 2u);
+  nl.device(vi).enabled = false;
+  nl.reindex();
+  EXPECT_EQ(nl.unknown_count(), 1u);
+  EXPECT_THROW(nl.branch_index(vi), std::invalid_argument);
+}
+
+TEST(Netlist, ValueCopyIsIndependent) {
+  Netlist a;
+  a.add("r1", Resistor{a.node("n"), kGround, 100.0});
+  Netlist b = a;
+  std::get<Resistor>(b.device(0).impl).ohms = 999.0;
+  EXPECT_DOUBLE_EQ(std::get<Resistor>(a.device(0).impl).ohms, 100.0);
+  EXPECT_DOUBLE_EQ(std::get<Resistor>(b.device(0).impl).ohms, 999.0);
+}
+
+TEST(Netlist, FindDeviceByName) {
+  Netlist nl;
+  nl.add("m1", Mosfet{nl.node("d"), nl.node("g"), kGround, MosType::kNmos, 1e-6, 0.5e-6, 0.0});
+  ASSERT_TRUE(nl.find_device("m1").has_value());
+  EXPECT_EQ(*nl.find_device("m1"), 0u);
+  EXPECT_FALSE(nl.find_device("m2").has_value());
+}
+
+TEST(Netlist, VoltageIndexOfGroundThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.voltage_index(kGround), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsl::spice

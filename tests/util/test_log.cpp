@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::util {
+namespace {
+
+/// Restores the global level after each test.
+class LogLevelGuard : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+using LogTest = LogLevelGuard;
+
+TEST_F(LogTest, DefaultLevelIsWarn) {
+  // The library default keeps fault campaigns quiet.
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kWarn));
+}
+
+TEST_F(LogTest, SetAndGetRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kOff));
+}
+
+TEST_F(LogTest, SuppressedMessagesDoNotCrash) {
+  set_log_level(LogLevel::kOff);
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("dropped");
+  log_error("dropped");
+}
+
+TEST_F(LogTest, EmittedMessagesGoToStderr) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_error("boom");
+  log_debug("trace");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[error] boom"), std::string::npos);
+  EXPECT_NE(err.find("[debug] trace"), std::string::npos);
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_warn("hidden");
+  log_error("shown");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("hidden"), std::string::npos);
+  EXPECT_NE(err.find("shown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsl::util

@@ -1,0 +1,115 @@
+#include "util/prbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lsl::util {
+namespace {
+
+TEST(Prbs, Prbs7HasFullPeriod) {
+  // A maximal-length LFSR of order 7 revisits its start state after
+  // exactly 127 steps and not before.
+  PrbsGenerator gen(PrbsOrder::kPrbs7, 1);
+  std::vector<bool> first(127);
+  for (auto&& b : first) b = gen.next_bit();
+  std::vector<bool> second(127);
+  for (auto&& b : second) b = gen.next_bit();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(gen.period(), 127u);
+}
+
+TEST(Prbs, Prbs7BalancedOnes) {
+  // Maximal-length sequence has 64 ones and 63 zeros per period.
+  PrbsGenerator gen(PrbsOrder::kPrbs7, 1);
+  int ones = 0;
+  for (int i = 0; i < 127; ++i) ones += gen.next_bit() ? 1 : 0;
+  EXPECT_EQ(ones, 64);
+}
+
+TEST(Prbs, Prbs9BalancedOnes) {
+  PrbsGenerator gen(PrbsOrder::kPrbs9, 3);
+  int ones = 0;
+  for (int i = 0; i < 511; ++i) ones += gen.next_bit() ? 1 : 0;
+  EXPECT_EQ(ones, 256);
+}
+
+TEST(Prbs, Prbs15StatePeriodProperty) {
+  // Walk 2^15-1 steps: every nonzero state must be visited exactly once,
+  // checked via the output stream repeating.
+  PrbsGenerator gen(PrbsOrder::kPrbs15, 77);
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) first.push_back(gen.next_bit());
+  // Advance the remainder of a full period.
+  for (std::uint64_t i = 200; i < gen.period(); ++i) gen.next_bit();
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(gen.next_bit(), first[i]) << "i=" << i;
+}
+
+TEST(Prbs, ZeroSeedAvoidsLockup) {
+  PrbsGenerator gen(PrbsOrder::kPrbs7, 0);
+  bool any_one = false;
+  for (int i = 0; i < 127; ++i) any_one |= gen.next_bit();
+  EXPECT_TRUE(any_one);
+}
+
+TEST(Prbs, BitsVectorMatchesStream) {
+  PrbsGenerator a(PrbsOrder::kPrbs7, 21);
+  PrbsGenerator b(PrbsOrder::kPrbs7, 21);
+  const auto vec = a.bits(50);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(vec[i], b.next_bit());
+}
+
+TEST(Prbs, DifferentSeedsDifferentPhases) {
+  PrbsGenerator a(PrbsOrder::kPrbs7, 1);
+  PrbsGenerator b(PrbsOrder::kPrbs7, 64);
+  const auto va = a.bits(64);
+  const auto vb = b.bits(64);
+  EXPECT_NE(va, vb);
+}
+
+TEST(TogglePattern, Alternates) {
+  TogglePattern t(false);
+  EXPECT_FALSE(t.next_bit());
+  EXPECT_TRUE(t.next_bit());
+  EXPECT_FALSE(t.next_bit());
+  TogglePattern u(true);
+  EXPECT_TRUE(u.next_bit());
+  EXPECT_FALSE(u.next_bit());
+}
+
+class PrbsAllOrders : public ::testing::TestWithParam<PrbsOrder> {};
+
+TEST_P(PrbsAllOrders, RunLengthBounded) {
+  // No run of identical bits can exceed the LFSR order.
+  PrbsGenerator gen(GetParam(), 123);
+  const int order = static_cast<int>(GetParam());
+  int run = 0;
+  bool prev = gen.next_bit();
+  for (int i = 0; i < 100000; ++i) {
+    const bool b = gen.next_bit();
+    if (b == prev) {
+      ++run;
+      EXPECT_LE(run, order) << "at step " << i;
+    } else {
+      run = 0;
+    }
+    prev = b;
+  }
+}
+
+TEST_P(PrbsAllOrders, RoughlyBalanced) {
+  PrbsGenerator gen(GetParam(), 5);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += gen.next_bit() ? 1 : 0;
+  EXPECT_NEAR(ones, n / 2, n / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PrbsAllOrders,
+                         ::testing::Values(PrbsOrder::kPrbs7, PrbsOrder::kPrbs9,
+                                           PrbsOrder::kPrbs15, PrbsOrder::kPrbs23,
+                                           PrbsOrder::kPrbs31));
+
+}  // namespace
+}  // namespace lsl::util

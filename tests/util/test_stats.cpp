@@ -1,0 +1,119 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lsl::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Pcg32 rng(31);
+  RunningStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_range(-5.0, 5.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-10);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 3.0);
+}
+
+TEST(Histogram, QuantileOfUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Pcg32 rng(7);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.ascii(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("[0, 1)"), std::string::npos);
+}
+
+TEST(Coverage, PercentMath) {
+  Coverage c;
+  EXPECT_DOUBLE_EQ(c.percent(), 0.0);
+  c.add(true);
+  c.add(true);
+  c.add(false);
+  c.add(true);
+  EXPECT_EQ(c.detected, 3u);
+  EXPECT_EQ(c.total, 4u);
+  EXPECT_DOUBLE_EQ(c.percent(), 75.0);
+}
+
+TEST(Coverage, Merge) {
+  Coverage a;
+  a.add(true);
+  a.add(false);
+  Coverage b;
+  b.add(true);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.detected, 3u);
+  EXPECT_EQ(a.total, 4u);
+}
+
+}  // namespace
+}  // namespace lsl::util

@@ -1,0 +1,37 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsl::util {
+namespace {
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(87.76, 1), "87.8");
+  EXPECT_EQ(Table::pct(94.81, 1), "94.8%");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"Defect", "Coverage"});
+  t.add_row({"Gate open", "87.8%"});
+  t.add_row({"Drain open", "93.9%"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| Defect     | Coverage |"), std::string::npos);
+  EXPECT_NE(s.find("| Gate open  | 87.8%    |"), std::string::npos);
+}
+
+TEST(Table, TitleShown) {
+  Table t({"a"});
+  t.set_title("TABLE I");
+  EXPECT_EQ(t.str().rfind("TABLE I\n", 0), 0u);
+}
+
+TEST(Table, ShortRowPadded) {
+  Table t({"x", "y"});
+  t.add_row({"only"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lsl::util
