@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dft.dir/ablation_dft.cpp.o"
+  "CMakeFiles/ablation_dft.dir/ablation_dft.cpp.o.d"
+  "ablation_dft"
+  "ablation_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

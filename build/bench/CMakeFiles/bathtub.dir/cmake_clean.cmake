@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bathtub.dir/bathtub.cpp.o"
+  "CMakeFiles/bathtub.dir/bathtub.cpp.o.d"
+  "bathtub"
+  "bathtub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

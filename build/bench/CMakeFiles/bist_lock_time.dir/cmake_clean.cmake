@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_lock_time.dir/bist_lock_time.cpp.o"
+  "CMakeFiles/bist_lock_time.dir/bist_lock_time.cpp.o.d"
+  "bist_lock_time"
+  "bist_lock_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_lock_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

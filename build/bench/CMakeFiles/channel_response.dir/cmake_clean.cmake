@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_response.dir/channel_response.cpp.o"
+  "CMakeFiles/channel_response.dir/channel_response.cpp.o.d"
+  "channel_response"
+  "channel_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_progression.dir/coverage_progression.cpp.o"
+  "CMakeFiles/coverage_progression.dir/coverage_progression.cpp.o.d"
+  "coverage_progression"
+  "coverage_progression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_progression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_tracking.dir/drift_tracking.cpp.o"
+  "CMakeFiles/drift_tracking.dir/drift_tracking.cpp.o.d"
+  "drift_tracking"
+  "drift_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eye_equalization.dir/eye_equalization.cpp.o"
+  "CMakeFiles/eye_equalization.dir/eye_equalization.cpp.o.d"
+  "eye_equalization"
+  "eye_equalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eye_equalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

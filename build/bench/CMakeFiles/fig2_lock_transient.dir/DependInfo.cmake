@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_lock_transient.cpp" "bench/CMakeFiles/fig2_lock_transient.dir/fig2_lock_transient.cpp.o" "gcc" "bench/CMakeFiles/fig2_lock_transient.dir/fig2_lock_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dft/CMakeFiles/lsl_dft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/lsl_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lsl_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/lsl_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/lsl_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lock_transient.dir/fig2_lock_transient.cpp.o"
+  "CMakeFiles/fig2_lock_transient.dir/fig2_lock_transient.cpp.o.d"
+  "fig2_lock_transient"
+  "fig2_lock_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lock_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

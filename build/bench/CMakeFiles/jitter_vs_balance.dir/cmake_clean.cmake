@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_vs_balance.dir/jitter_vs_balance.cpp.o"
+  "CMakeFiles/jitter_vs_balance.dir/jitter_vs_balance.cpp.o.d"
+  "jitter_vs_balance"
+  "jitter_vs_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_vs_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

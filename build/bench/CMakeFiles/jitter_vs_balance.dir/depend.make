@@ -1,0 +1,2 @@
+# Empty dependencies file for jitter_vs_balance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilane_test_time.dir/multilane_test_time.cpp.o"
+  "CMakeFiles/multilane_test_time.dir/multilane_test_time.cpp.o.d"
+  "multilane_test_time"
+  "multilane_test_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilane_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offset_montecarlo.dir/offset_montecarlo.cpp.o"
+  "CMakeFiles/offset_montecarlo.dir/offset_montecarlo.cpp.o.d"
+  "offset_montecarlo"
+  "offset_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offset_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

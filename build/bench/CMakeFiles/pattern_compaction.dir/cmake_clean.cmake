@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_compaction.dir/test_compaction.cpp.o"
+  "CMakeFiles/pattern_compaction.dir/test_compaction.cpp.o.d"
+  "pattern_compaction"
+  "pattern_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdl_characterization.dir/vcdl_characterization.cpp.o"
+  "CMakeFiles/vcdl_characterization.dir/vcdl_characterization.cpp.o.d"
+  "vcdl_characterization"
+  "vcdl_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdl_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

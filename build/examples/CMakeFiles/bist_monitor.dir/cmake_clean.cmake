@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_monitor.dir/bist_monitor.cpp.o"
+  "CMakeFiles/bist_monitor.dir/bist_monitor.cpp.o.d"
+  "bist_monitor"
+  "bist_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_decks.dir/export_decks.cpp.o"
+  "CMakeFiles/export_decks.dir/export_decks.cpp.o.d"
+  "export_decks"
+  "export_decks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_decks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_debug.dir/scan_debug.cpp.o"
+  "CMakeFiles/scan_debug.dir/scan_debug.cpp.o.d"
+  "scan_debug"
+  "scan_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

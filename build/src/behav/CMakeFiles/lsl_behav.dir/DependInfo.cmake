@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/behav/channel.cpp" "src/behav/CMakeFiles/lsl_behav.dir/channel.cpp.o" "gcc" "src/behav/CMakeFiles/lsl_behav.dir/channel.cpp.o.d"
+  "/root/repo/src/behav/pump.cpp" "src/behav/CMakeFiles/lsl_behav.dir/pump.cpp.o" "gcc" "src/behav/CMakeFiles/lsl_behav.dir/pump.cpp.o.d"
+  "/root/repo/src/behav/synchronizer.cpp" "src/behav/CMakeFiles/lsl_behav.dir/synchronizer.cpp.o" "gcc" "src/behav/CMakeFiles/lsl_behav.dir/synchronizer.cpp.o.d"
+  "/root/repo/src/behav/vcdl.cpp" "src/behav/CMakeFiles/lsl_behav.dir/vcdl.cpp.o" "gcc" "src/behav/CMakeFiles/lsl_behav.dir/vcdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_behav.dir/channel.cpp.o"
+  "CMakeFiles/lsl_behav.dir/channel.cpp.o.d"
+  "CMakeFiles/lsl_behav.dir/pump.cpp.o"
+  "CMakeFiles/lsl_behav.dir/pump.cpp.o.d"
+  "CMakeFiles/lsl_behav.dir/synchronizer.cpp.o"
+  "CMakeFiles/lsl_behav.dir/synchronizer.cpp.o.d"
+  "CMakeFiles/lsl_behav.dir/vcdl.cpp.o"
+  "CMakeFiles/lsl_behav.dir/vcdl.cpp.o.d"
+  "liblsl_behav.a"
+  "liblsl_behav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_behav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

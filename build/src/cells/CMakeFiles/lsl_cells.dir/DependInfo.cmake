@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/charge_pump.cpp" "src/cells/CMakeFiles/lsl_cells.dir/charge_pump.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/charge_pump.cpp.o.d"
+  "/root/repo/src/cells/comparator.cpp" "src/cells/CMakeFiles/lsl_cells.dir/comparator.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/comparator.cpp.o.d"
+  "/root/repo/src/cells/link_frontend.cpp" "src/cells/CMakeFiles/lsl_cells.dir/link_frontend.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/link_frontend.cpp.o.d"
+  "/root/repo/src/cells/termination.cpp" "src/cells/CMakeFiles/lsl_cells.dir/termination.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/termination.cpp.o.d"
+  "/root/repo/src/cells/transmitter.cpp" "src/cells/CMakeFiles/lsl_cells.dir/transmitter.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/transmitter.cpp.o.d"
+  "/root/repo/src/cells/vcdl.cpp" "src/cells/CMakeFiles/lsl_cells.dir/vcdl.cpp.o" "gcc" "src/cells/CMakeFiles/lsl_cells.dir/vcdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_cells.dir/charge_pump.cpp.o"
+  "CMakeFiles/lsl_cells.dir/charge_pump.cpp.o.d"
+  "CMakeFiles/lsl_cells.dir/comparator.cpp.o"
+  "CMakeFiles/lsl_cells.dir/comparator.cpp.o.d"
+  "CMakeFiles/lsl_cells.dir/link_frontend.cpp.o"
+  "CMakeFiles/lsl_cells.dir/link_frontend.cpp.o.d"
+  "CMakeFiles/lsl_cells.dir/termination.cpp.o"
+  "CMakeFiles/lsl_cells.dir/termination.cpp.o.d"
+  "CMakeFiles/lsl_cells.dir/transmitter.cpp.o"
+  "CMakeFiles/lsl_cells.dir/transmitter.cpp.o.d"
+  "CMakeFiles/lsl_cells.dir/vcdl.cpp.o"
+  "CMakeFiles/lsl_cells.dir/vcdl.cpp.o.d"
+  "liblsl_cells.a"
+  "liblsl_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

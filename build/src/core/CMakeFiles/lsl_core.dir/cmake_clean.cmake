@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_core.dir/testable_link.cpp.o"
+  "CMakeFiles/lsl_core.dir/testable_link.cpp.o.d"
+  "liblsl_core.a"
+  "liblsl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dft/bist_test.cpp" "src/dft/CMakeFiles/lsl_dft.dir/bist_test.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/bist_test.cpp.o.d"
+  "/root/repo/src/dft/campaign.cpp" "src/dft/CMakeFiles/lsl_dft.dir/campaign.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/campaign.cpp.o.d"
+  "/root/repo/src/dft/dc_test.cpp" "src/dft/CMakeFiles/lsl_dft.dir/dc_test.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/dc_test.cpp.o.d"
+  "/root/repo/src/dft/dictionary.cpp" "src/dft/CMakeFiles/lsl_dft.dir/dictionary.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/dictionary.cpp.o.d"
+  "/root/repo/src/dft/digital_top.cpp" "src/dft/CMakeFiles/lsl_dft.dir/digital_top.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/digital_top.cpp.o.d"
+  "/root/repo/src/dft/overhead.cpp" "src/dft/CMakeFiles/lsl_dft.dir/overhead.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/overhead.cpp.o.d"
+  "/root/repo/src/dft/scan_test.cpp" "src/dft/CMakeFiles/lsl_dft.dir/scan_test.cpp.o" "gcc" "src/dft/CMakeFiles/lsl_dft.dir/scan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/lsl_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/lsl_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lsl_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/lsl_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

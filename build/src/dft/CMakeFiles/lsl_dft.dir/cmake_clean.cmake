@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_dft.dir/bist_test.cpp.o"
+  "CMakeFiles/lsl_dft.dir/bist_test.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/campaign.cpp.o"
+  "CMakeFiles/lsl_dft.dir/campaign.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/dc_test.cpp.o"
+  "CMakeFiles/lsl_dft.dir/dc_test.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/dictionary.cpp.o"
+  "CMakeFiles/lsl_dft.dir/dictionary.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/digital_top.cpp.o"
+  "CMakeFiles/lsl_dft.dir/digital_top.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/overhead.cpp.o"
+  "CMakeFiles/lsl_dft.dir/overhead.cpp.o.d"
+  "CMakeFiles/lsl_dft.dir/scan_test.cpp.o"
+  "CMakeFiles/lsl_dft.dir/scan_test.cpp.o.d"
+  "liblsl_dft.a"
+  "liblsl_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/atpg.cpp" "src/digital/CMakeFiles/lsl_digital.dir/atpg.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/atpg.cpp.o.d"
+  "/root/repo/src/digital/blocks.cpp" "src/digital/CMakeFiles/lsl_digital.dir/blocks.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/blocks.cpp.o.d"
+  "/root/repo/src/digital/circuit.cpp" "src/digital/CMakeFiles/lsl_digital.dir/circuit.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/circuit.cpp.o.d"
+  "/root/repo/src/digital/compaction.cpp" "src/digital/CMakeFiles/lsl_digital.dir/compaction.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/compaction.cpp.o.d"
+  "/root/repo/src/digital/logic.cpp" "src/digital/CMakeFiles/lsl_digital.dir/logic.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/logic.cpp.o.d"
+  "/root/repo/src/digital/scan.cpp" "src/digital/CMakeFiles/lsl_digital.dir/scan.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/scan.cpp.o.d"
+  "/root/repo/src/digital/stuck.cpp" "src/digital/CMakeFiles/lsl_digital.dir/stuck.cpp.o" "gcc" "src/digital/CMakeFiles/lsl_digital.dir/stuck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

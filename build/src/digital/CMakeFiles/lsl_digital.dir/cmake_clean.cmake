@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_digital.dir/atpg.cpp.o"
+  "CMakeFiles/lsl_digital.dir/atpg.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/blocks.cpp.o"
+  "CMakeFiles/lsl_digital.dir/blocks.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/circuit.cpp.o"
+  "CMakeFiles/lsl_digital.dir/circuit.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/compaction.cpp.o"
+  "CMakeFiles/lsl_digital.dir/compaction.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/logic.cpp.o"
+  "CMakeFiles/lsl_digital.dir/logic.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/scan.cpp.o"
+  "CMakeFiles/lsl_digital.dir/scan.cpp.o.d"
+  "CMakeFiles/lsl_digital.dir/stuck.cpp.o"
+  "CMakeFiles/lsl_digital.dir/stuck.cpp.o.d"
+  "liblsl_digital.a"
+  "liblsl_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

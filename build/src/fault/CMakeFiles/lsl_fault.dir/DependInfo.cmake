@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/characterize.cpp" "src/fault/CMakeFiles/lsl_fault.dir/characterize.cpp.o" "gcc" "src/fault/CMakeFiles/lsl_fault.dir/characterize.cpp.o.d"
+  "/root/repo/src/fault/montecarlo.cpp" "src/fault/CMakeFiles/lsl_fault.dir/montecarlo.cpp.o" "gcc" "src/fault/CMakeFiles/lsl_fault.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/fault/structural.cpp" "src/fault/CMakeFiles/lsl_fault.dir/structural.cpp.o" "gcc" "src/fault/CMakeFiles/lsl_fault.dir/structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/lsl_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/lsl_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_fault.dir/characterize.cpp.o"
+  "CMakeFiles/lsl_fault.dir/characterize.cpp.o.d"
+  "CMakeFiles/lsl_fault.dir/montecarlo.cpp.o"
+  "CMakeFiles/lsl_fault.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/lsl_fault.dir/structural.cpp.o"
+  "CMakeFiles/lsl_fault.dir/structural.cpp.o.d"
+  "liblsl_fault.a"
+  "liblsl_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

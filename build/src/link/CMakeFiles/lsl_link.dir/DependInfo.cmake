@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/domain_crossing.cpp" "src/link/CMakeFiles/lsl_link.dir/domain_crossing.cpp.o" "gcc" "src/link/CMakeFiles/lsl_link.dir/domain_crossing.cpp.o.d"
+  "/root/repo/src/link/link.cpp" "src/link/CMakeFiles/lsl_link.dir/link.cpp.o" "gcc" "src/link/CMakeFiles/lsl_link.dir/link.cpp.o.d"
+  "/root/repo/src/link/multilane.cpp" "src/link/CMakeFiles/lsl_link.dir/multilane.cpp.o" "gcc" "src/link/CMakeFiles/lsl_link.dir/multilane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_link.dir/domain_crossing.cpp.o"
+  "CMakeFiles/lsl_link.dir/domain_crossing.cpp.o.d"
+  "CMakeFiles/lsl_link.dir/link.cpp.o"
+  "CMakeFiles/lsl_link.dir/link.cpp.o.d"
+  "CMakeFiles/lsl_link.dir/multilane.cpp.o"
+  "CMakeFiles/lsl_link.dir/multilane.cpp.o.d"
+  "liblsl_link.a"
+  "liblsl_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

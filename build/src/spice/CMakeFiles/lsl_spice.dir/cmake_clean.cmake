@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_spice.dir/ac.cpp.o"
+  "CMakeFiles/lsl_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/dc.cpp.o"
+  "CMakeFiles/lsl_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/export.cpp.o"
+  "CMakeFiles/lsl_spice.dir/export.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/matrix.cpp.o"
+  "CMakeFiles/lsl_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/netlist.cpp.o"
+  "CMakeFiles/lsl_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/stamp.cpp.o"
+  "CMakeFiles/lsl_spice.dir/stamp.cpp.o.d"
+  "CMakeFiles/lsl_spice.dir/transient.cpp.o"
+  "CMakeFiles/lsl_spice.dir/transient.cpp.o.d"
+  "liblsl_spice.a"
+  "liblsl_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

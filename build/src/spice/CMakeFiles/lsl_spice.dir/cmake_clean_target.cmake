@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsl_spice.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsl_util.dir/log.cpp.o"
+  "CMakeFiles/lsl_util.dir/log.cpp.o.d"
+  "CMakeFiles/lsl_util.dir/prbs.cpp.o"
+  "CMakeFiles/lsl_util.dir/prbs.cpp.o.d"
+  "CMakeFiles/lsl_util.dir/rng.cpp.o"
+  "CMakeFiles/lsl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lsl_util.dir/stats.cpp.o"
+  "CMakeFiles/lsl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lsl_util.dir/table.cpp.o"
+  "CMakeFiles/lsl_util.dir/table.cpp.o.d"
+  "liblsl_util.a"
+  "liblsl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/behav/test_channel.cpp" "tests/CMakeFiles/test_behav.dir/behav/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_behav.dir/behav/test_channel.cpp.o.d"
+  "/root/repo/tests/behav/test_pump.cpp" "tests/CMakeFiles/test_behav.dir/behav/test_pump.cpp.o" "gcc" "tests/CMakeFiles/test_behav.dir/behav/test_pump.cpp.o.d"
+  "/root/repo/tests/behav/test_synchronizer.cpp" "tests/CMakeFiles/test_behav.dir/behav/test_synchronizer.cpp.o" "gcc" "tests/CMakeFiles/test_behav.dir/behav/test_synchronizer.cpp.o.d"
+  "/root/repo/tests/behav/test_vcdl.cpp" "tests/CMakeFiles/test_behav.dir/behav/test_vcdl.cpp.o" "gcc" "tests/CMakeFiles/test_behav.dir/behav/test_vcdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

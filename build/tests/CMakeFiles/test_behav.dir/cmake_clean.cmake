@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behav.dir/behav/test_channel.cpp.o"
+  "CMakeFiles/test_behav.dir/behav/test_channel.cpp.o.d"
+  "CMakeFiles/test_behav.dir/behav/test_pump.cpp.o"
+  "CMakeFiles/test_behav.dir/behav/test_pump.cpp.o.d"
+  "CMakeFiles/test_behav.dir/behav/test_synchronizer.cpp.o"
+  "CMakeFiles/test_behav.dir/behav/test_synchronizer.cpp.o.d"
+  "CMakeFiles/test_behav.dir/behav/test_vcdl.cpp.o"
+  "CMakeFiles/test_behav.dir/behav/test_vcdl.cpp.o.d"
+  "test_behav"
+  "test_behav.pdb"
+  "test_behav[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

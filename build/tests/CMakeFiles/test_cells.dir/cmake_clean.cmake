@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/cells/test_charge_pump.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_charge_pump.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/test_comparator.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_comparator.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/test_link_frontend.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_link_frontend.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/test_termination.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_termination.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/test_transmitter.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_transmitter.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/test_vcdl.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/test_vcdl.cpp.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dft.dir/dft/test_bist_test.cpp.o"
+  "CMakeFiles/test_dft.dir/dft/test_bist_test.cpp.o.d"
+  "CMakeFiles/test_dft.dir/dft/test_dc_test.cpp.o"
+  "CMakeFiles/test_dft.dir/dft/test_dc_test.cpp.o.d"
+  "CMakeFiles/test_dft.dir/dft/test_dictionary.cpp.o"
+  "CMakeFiles/test_dft.dir/dft/test_dictionary.cpp.o.d"
+  "CMakeFiles/test_dft.dir/dft/test_digital_top.cpp.o"
+  "CMakeFiles/test_dft.dir/dft/test_digital_top.cpp.o.d"
+  "CMakeFiles/test_dft.dir/dft/test_scan_test.cpp.o"
+  "CMakeFiles/test_dft.dir/dft/test_scan_test.cpp.o.d"
+  "test_dft"
+  "test_dft.pdb"
+  "test_dft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/digital/test_atpg.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_atpg.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_atpg.cpp.o.d"
+  "/root/repo/tests/digital/test_blocks.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_blocks.cpp.o.d"
+  "/root/repo/tests/digital/test_circuit.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_circuit.cpp.o.d"
+  "/root/repo/tests/digital/test_compaction.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_compaction.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_compaction.cpp.o.d"
+  "/root/repo/tests/digital/test_logic.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_logic.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_logic.cpp.o.d"
+  "/root/repo/tests/digital/test_scan.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_scan.cpp.o.d"
+  "/root/repo/tests/digital/test_stuck.cpp" "tests/CMakeFiles/test_digital.dir/digital/test_stuck.cpp.o" "gcc" "tests/CMakeFiles/test_digital.dir/digital/test_stuck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/digital/CMakeFiles/lsl_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

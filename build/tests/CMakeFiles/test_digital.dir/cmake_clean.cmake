@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digital.dir/digital/test_atpg.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_atpg.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_blocks.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_blocks.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_circuit.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_circuit.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_compaction.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_compaction.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_logic.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_logic.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_scan.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_scan.cpp.o.d"
+  "CMakeFiles/test_digital.dir/digital/test_stuck.cpp.o"
+  "CMakeFiles/test_digital.dir/digital/test_stuck.cpp.o.d"
+  "test_digital"
+  "test_digital.pdb"
+  "test_digital[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

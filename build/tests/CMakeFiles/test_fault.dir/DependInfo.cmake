@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault/test_characterize.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_characterize.cpp.o.d"
+  "/root/repo/tests/fault/test_montecarlo.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/fault/test_structural.cpp" "tests/CMakeFiles/test_fault.dir/fault/test_structural.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/fault/test_structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/lsl_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/lsl_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/lsl_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

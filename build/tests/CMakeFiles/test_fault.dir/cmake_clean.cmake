@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault.dir/fault/test_characterize.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_characterize.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_montecarlo.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_montecarlo.cpp.o.d"
+  "CMakeFiles/test_fault.dir/fault/test_structural.cpp.o"
+  "CMakeFiles/test_fault.dir/fault/test_structural.cpp.o.d"
+  "test_fault"
+  "test_fault.pdb"
+  "test_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/link/test_domain_crossing.cpp" "tests/CMakeFiles/test_link.dir/link/test_domain_crossing.cpp.o" "gcc" "tests/CMakeFiles/test_link.dir/link/test_domain_crossing.cpp.o.d"
+  "/root/repo/tests/link/test_link.cpp" "tests/CMakeFiles/test_link.dir/link/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_link.dir/link/test_link.cpp.o.d"
+  "/root/repo/tests/link/test_multilane.cpp" "tests/CMakeFiles/test_link.dir/link/test_multilane.cpp.o" "gcc" "tests/CMakeFiles/test_link.dir/link/test_multilane.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/lsl_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/behav/CMakeFiles/lsl_behav.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_ac.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_ac.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_ac.cpp.o.d"
+  "/root/repo/tests/spice/test_dc.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_dc.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_dc.cpp.o.d"
+  "/root/repo/tests/spice/test_export.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_export.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_export.cpp.o.d"
+  "/root/repo/tests/spice/test_matrix.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "/root/repo/tests/spice/test_mosfet.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "/root/repo/tests/spice/test_netlist.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o.d"
+  "/root/repo/tests/spice/test_transient.cpp" "tests/CMakeFiles/test_spice.dir/spice/test_transient.cpp.o" "gcc" "tests/CMakeFiles/test_spice.dir/spice/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/lsl_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

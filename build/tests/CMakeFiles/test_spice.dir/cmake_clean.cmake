@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/test_ac.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_ac.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_dc.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_dc.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_export.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_export.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_matrix.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_mosfet.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_netlist.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/test_transient.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/test_transient.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
