@@ -16,7 +16,9 @@
 namespace {
 
 /// Binary-searches the comparator trip point on a mismatched instance.
-double measure_offset(lsl::util::Pcg32& rng, double w_offset) {
+/// Returns the trip point; a failed solve reports through `status` and
+/// leaves the value meaningless.
+double measure_offset(lsl::util::Pcg32& rng, double w_offset, lsl::spice::SolveStatus& status) {
   lsl::spice::Netlist nl;
   const auto vdd = nl.node("vdd");
   nl.add("v_vdd", lsl::spice::VSource{vdd, lsl::spice::kGround, 1.2});
@@ -37,6 +39,7 @@ double measure_offset(lsl::util::Pcg32& rng, double w_offset) {
     std::get<lsl::spice::VSource>(nl.device(sp).impl).volts = 0.75 + mid / 2.0;
     std::get<lsl::spice::VSource>(nl.device(sn).impl).volts = 0.75 - mid / 2.0;
     const auto r = lsl::spice::solve_dc(nl);
+    status = r.status;
     if (!r.converged) return -1.0;
     if (r.v(nl, c.out) > 0.6) {
       hi = mid;
@@ -61,13 +64,18 @@ int main() {
   for (const double w_off : {0.65e-6, 0.5e-6}) {
     lsl::util::Pcg32 rng(777);
     lsl::util::RunningStats stats;
+    lsl::fault::McTally tally;
     int wrong = 0;
     for (int t = 0; t < kTrials; ++t) {
-      const double off = measure_offset(rng, w_off);
-      if (off <= -0.079) continue;  // non-converged sentinel
+      auto status = lsl::spice::SolveStatus::kConverged;
+      const double off = measure_offset(rng, w_off, status);
+      tally.record(status);
+      if (!lsl::spice::solve_ok(status)) continue;  // classified, not dropped
       stats.add(off * 1e3);
       if (off <= 0.0) ++wrong;
     }
+    std::printf("  %s: %s\n", w_off > 0.55e-6 ? "deliberate skew" : "no skew",
+                tally.summary().c_str());
     table.add_row({w_off > 0.55e-6 ? "deliberate skew (0.65u)" : "no skew (0.50u)",
                    lsl::util::Table::num(stats.mean(), 1),
                    lsl::util::Table::num(stats.stddev(), 1),

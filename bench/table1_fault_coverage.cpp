@@ -3,6 +3,7 @@
 //
 // Flags:  --fast        cap the universe at 80 faults (smoke run)
 //         --pessimistic use the both-leak-variants gate-open convention
+//         --checkpoint <path>  JSONL checkpoint; resume if the file exists
 #include <cstdio>
 #include <cstring>
 
@@ -34,7 +35,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) opts.max_faults = 80;
     if (std::strcmp(argv[i], "--pessimistic") == 0) opts.pessimistic_gate_opens = true;
+    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      opts.checkpoint_path = argv[++i];
+      opts.resume = true;
+    }
   }
+  // Survival defaults for the full sweep: no single fault may stall the
+  // campaign for more than a minute.
+  opts.budget.per_fault_sec = 60.0;
   opts.progress = [](std::size_t i, std::size_t n) {
     if (i % 50 == 0) std::fprintf(stderr, "  fault %zu / %zu\n", i, n);
   };
@@ -59,8 +67,13 @@ int main(int argc, char** argv) {
                  lsl::util::Table::pct(94.8)});
   table.print();
 
-  std::printf("\nAnomalous (non-convergent) faulted circuits: %zu (counted as detected)\n",
-              report.anomalous);
+  std::printf("\nFaults with at least one failed solve: %zu\n", report.anomalous);
+  std::printf("Quarantined (no trustworthy verdict, excluded from coverage): %zu\n",
+              report.quarantined);
+  for (const auto* o : report.quarantined_faults()) {
+    std::printf("  %s [%s]\n", o->fault.describe().c_str(),
+                lsl::spice::to_string(o->status).c_str());
+  }
   const auto undetected = report.undetected();
   std::printf("Undetected faults: %zu\n", undetected.size());
   for (const auto* o : undetected) std::printf("  %s\n", o->fault.describe().c_str());

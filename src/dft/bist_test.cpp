@@ -22,11 +22,15 @@ const std::array<double, 3>& cp_bist_vc_levels() {
   return kLevels;
 }
 
-bool read_cp_bist_bits(const cells::LinkFrontend& fe_in, double vc, bool& hi, bool& lo) {
+bool read_cp_bist_bits(const cells::LinkFrontend& fe_in, double vc, bool& hi, bool& lo,
+                       const spice::DcOptions& solve, spice::SolveStatus* status,
+                       long* iterations) {
   cells::LinkFrontend fe = fe_in;
   auto& nl = fe.netlist();
   nl.add("bist.clamp_vc", spice::VSource{fe.cp_ports().vc, spice::kGround, vc});
-  const auto r = fe.solve();
+  const auto r = fe.solve(solve);
+  if (status) *status = r.status;
+  if (iterations) *iterations += r.iterations;
   if (!r.converged) return false;
   const double th = fe.spec().vdd / 2.0;
   hi = r.v(nl, fe.cp_ports().bist_hi) > th;
@@ -37,14 +41,16 @@ bool read_cp_bist_bits(const cells::LinkFrontend& fe_in, double vc, bool& hi, bo
 namespace {
 
 /// Strobes the CP-BIST comparator over the Vc levels. Returns false on
-/// any non-convergence.
+/// any non-convergence, leaving the failing status in `status`.
 bool read_all_bist_bits(const cells::LinkFrontend& fe,
-                        std::array<std::pair<bool, bool>, 3>& bits) {
+                        std::array<std::pair<bool, bool>, 3>& bits,
+                        const spice::DcOptions& solve = {},
+                        spice::SolveStatus* status = nullptr, long* iterations = nullptr) {
   const auto& levels = cp_bist_vc_levels();
   for (std::size_t i = 0; i < levels.size(); ++i) {
     bool hi = false;
     bool lo = false;
-    if (!read_cp_bist_bits(fe, levels[i], hi, lo)) return false;
+    if (!read_cp_bist_bits(fe, levels[i], hi, lo, solve, status, iterations)) return false;
     bits[i] = {hi, lo};
   }
   return true;
@@ -65,15 +71,18 @@ BistTestReference bist_test_reference(const cells::LinkFrontend& golden,
   return ref;
 }
 
-BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref) {
+BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref,
+                              const spice::DcOptions& solve) {
   BistTestOutcome out;
-  const fault::FrontendMeasurements m = fault::measure_frontend(fe);
+  const fault::FrontendMeasurements m = fault::measure_frontend(fe, solve);
+  out.iterations += m.iterations;
   const fault::BehavioralSignature sig = fault::derive_signature(ref.golden, m);
   if (!sig.characterized) {
-    // The faulted circuit has no workable operating point: at speed the
-    // loop cannot function either.
-    out.detected = true;
+    // The faulted circuit has no workable operating point the solver can
+    // find — the verdict is not trustworthy either way, so the campaign
+    // layer quarantines it instead of claiming a detection.
     out.anomalous = true;
+    out.status = sig.status;
     return out;
   }
   const lsl::link::LinkParams p = fault::apply_signature(ref.base, sig);
@@ -85,9 +94,10 @@ BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestRefer
   // balance node must track Vc across the window, so the readout strobes
   // several locked Vc levels on the faulted netlist.
   std::array<std::pair<bool, bool>, 3> bits{};
-  if (!read_all_bist_bits(fe, bits)) {
-    out.detected = true;
+  spice::SolveStatus st = spice::SolveStatus::kConverged;
+  if (!read_all_bist_bits(fe, bits, solve, &st, &out.iterations)) {
     out.anomalous = true;
+    out.status = st;
   } else if (bits != ref.bist_bits) {
     out.detected = true;
   }

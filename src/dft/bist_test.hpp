@@ -15,12 +15,16 @@
 #include "cells/link_frontend.hpp"
 #include "fault/characterize.hpp"
 #include "link/link.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::dft {
 
 struct BistTestOutcome {
+  /// Genuine BIST failure / readout mismatch on a characterized circuit.
   bool detected = false;
   bool anomalous = false;        // characterization failed to converge
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
   lsl::link::BistVerdict verdict;
 };
 
@@ -40,8 +44,11 @@ struct BistTestReference {
 const std::array<double, 3>& cp_bist_vc_levels();
 
 /// Reads the CP-BIST comparator decisions with Vc clamped at `vc`.
-/// Returns false on non-convergence.
-bool read_cp_bist_bits(const cells::LinkFrontend& fe, double vc, bool& hi, bool& lo);
+/// Returns false on non-convergence; `status`/`iterations` (when
+/// non-null) receive the solver status and Newton iteration count.
+bool read_cp_bist_bits(const cells::LinkFrontend& fe, double vc, bool& hi, bool& lo,
+                       const spice::DcOptions& solve = {},
+                       spice::SolveStatus* status = nullptr, long* iterations = nullptr);
 
 /// Captures the golden measurements and verifies the healthy BIST
 /// passes. The BIST scan-preloads a far-off coarse phase so acquisition
@@ -50,6 +57,8 @@ BistTestReference bist_test_reference(const cells::LinkFrontend& golden,
                                       const lsl::link::LinkParams& base = {});
 
 /// Characterizes the faulted frontend and runs the at-speed BIST.
-BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref);
+/// `solve` threads per-fault budgets into the characterization solves.
+BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref,
+                              const spice::DcOptions& solve = {});
 
 }  // namespace lsl::dft

@@ -1,5 +1,10 @@
 #include "dft/campaign.hpp"
 
+#include <chrono>
+#include <exception>
+#include <unordered_map>
+
+#include "util/jsonl.hpp"
 #include "util/log.hpp"
 
 namespace lsl::dft {
@@ -8,51 +13,216 @@ using fault::FaultClass;
 using fault::OpenLeak;
 using fault::StructuralFault;
 
+std::string fault_verdict_name(FaultVerdict v) {
+  switch (v) {
+    case FaultVerdict::kDetected: return "detected";
+    case FaultVerdict::kUndetected: return "undetected";
+    case FaultVerdict::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+bool fault_verdict_from_name(const std::string& name, FaultVerdict& out) {
+  for (const FaultVerdict v :
+       {FaultVerdict::kDetected, FaultVerdict::kUndetected, FaultVerdict::kQuarantined}) {
+    if (fault_verdict_name(v) == name) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<const FaultOutcome*> CampaignReport::undetected() const {
   std::vector<const FaultOutcome*> out;
   for (const auto& o : outcomes) {
-    if (!o.detected_any()) out.push_back(&o);
+    if (o.verdict == FaultVerdict::kUndetected) out.push_back(&o);
+  }
+  return out;
+}
+
+std::vector<const FaultOutcome*> CampaignReport::quarantined_faults() const {
+  std::vector<const FaultOutcome*> out;
+  for (const auto& o : outcomes) {
+    if (o.verdict == FaultVerdict::kQuarantined) out.push_back(&o);
   }
   return out;
 }
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 struct StageResults {
   bool dc = false;
   bool scan = false;
   bool bist = false;
   bool anomalous = false;
+  bool budget_blown = false;
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
 };
+
+/// Folds a stage's failure status into the running worst (first failure
+/// wins — later stages usually fail the same way for the same reason).
+void note_status(StageResults& r, bool anomalous, spice::SolveStatus st) {
+  if (!anomalous) return;
+  r.anomalous = true;
+  if (r.status == spice::SolveStatus::kConverged) r.status = st;
+}
 
 StageResults run_stages(const cells::LinkFrontend& faulty_closed,
                         const cells::LinkFrontend& faulty, const DcTestReference& dc_ref,
                         const ScanTestReference& scan_ref, const BistTestReference& bist_ref,
-                        const CampaignOptions& opts) {
+                        const CampaignOptions& opts, Clock::time_point start) {
   StageResults r;
-  const DcTestOutcome dc = run_dc_test(faulty_closed, dc_ref);
-  r.dc = dc.detected;
-  r.anomalous |= dc.anomalous;
 
-  const ScanTestOutcome scan = run_scan_test(faulty, scan_ref, opts.toggle);
+  // Remaining wall clock for this fault; every solve inside a stage gets
+  // it as a hard timeout. Returns false once the budget is blown.
+  const auto remaining = [&](double& left) {
+    if (opts.budget.per_fault_sec <= 0.0) {
+      left = 0.0;  // 0 = unlimited for the solver layer
+      return true;
+    }
+    left = opts.budget.per_fault_sec - seconds_since(start);
+    return left > 0.0;
+  };
+  const auto iter_budget_ok = [&]() {
+    return opts.budget.max_newton_per_fault <= 0 ||
+           r.iterations <= opts.budget.max_newton_per_fault;
+  };
+
+  double left = 0.0;
+  if (!remaining(left)) {
+    r.budget_blown = true;
+    return r;
+  }
+  spice::DcOptions solve;
+  solve.timeout_sec = left;
+  const DcTestOutcome dc = run_dc_test(faulty_closed, dc_ref, solve);
+  r.dc = dc.detected;
+  r.iterations += dc.iterations;
+  note_status(r, dc.anomalous, dc.status);
+
+  if (!remaining(left) || !iter_budget_ok()) {
+    r.budget_blown = true;
+    return r;
+  }
+  solve.timeout_sec = left;
+  ToggleOptions toggle = opts.toggle;
+  toggle.timeout_sec = left;
+  const ScanTestOutcome scan = run_scan_test(faulty, scan_ref, toggle, solve);
   r.scan = scan.detected;
-  r.anomalous |= scan.anomalous;
+  r.iterations += scan.iterations;
+  note_status(r, scan.anomalous, scan.status);
 
   if (opts.with_bist) {
-    const BistTestOutcome bist = run_bist_test(faulty, bist_ref);
+    if (!remaining(left) || !iter_budget_ok()) {
+      r.budget_blown = true;
+      return r;
+    }
+    solve.timeout_sec = left;
+    const BistTestOutcome bist = run_bist_test(faulty, bist_ref, solve);
     r.bist = bist.detected;
-    r.anomalous |= bist.anomalous;
+    r.iterations += bist.iterations;
+    note_status(r, bist.anomalous, bist.status);
   }
+  if (!iter_budget_ok()) r.budget_blown = true;
   return r;
 }
 
+FaultVerdict classify(const FaultOutcome& o) {
+  // A genuine signature mismatch is conclusive even when another stage
+  // failed to solve or the budget ran out afterwards.
+  if (o.detected_any()) return FaultVerdict::kDetected;
+  if (o.anomalous || o.budget_blown) return FaultVerdict::kQuarantined;
+  return FaultVerdict::kUndetected;
+}
+
 void account(ClassStats& s, const FaultOutcome& o) {
+  if (o.verdict == FaultVerdict::kQuarantined) {
+    // Quarantined faults never produced a trustworthy verdict: they are
+    // excluded from the denominator, not silently counted either way.
+    ++s.quarantined;
+    return;
+  }
   s.dc.add(o.dc);
   s.scan.add(o.scan);
   s.bist.add(o.bist);
   s.cum_dc.add(o.dc);
   s.cum_scan.add(o.dc || o.scan);
   s.cum_all.add(o.detected_any());
+}
+
+// --- JSONL checkpointing ---------------------------------------------
+
+std::string outcome_to_json(const FaultOutcome& o) {
+  util::JsonObject j;
+  j.set("index", o.index);
+  j.set("device", o.fault.device);
+  j.set("class", fault::fault_class_name(o.fault.cls));
+  j.set("verdict", fault_verdict_name(o.verdict));
+  j.set("status", spice::to_string(o.status));
+  j.set("dc", o.dc);
+  j.set("scan", o.scan);
+  j.set("bist", o.bist);
+  j.set("anomalous", o.anomalous);
+  j.set("budget_blown", o.budget_blown);
+  j.set("elapsed_sec", o.elapsed_sec);
+  j.set("newton_iterations", static_cast<std::int64_t>(o.newton_iterations));
+  return j.str();
+}
+
+bool outcome_from_json(const std::string& line, FaultOutcome& o) {
+  util::JsonObject j;
+  if (!util::JsonObject::parse(line, j)) return false;
+  std::string cls;
+  std::string verdict;
+  std::string status;
+  double elapsed = 0.0;
+  double iters = 0.0;
+  if (!j.get_uint("index", o.index) || !j.get_string("device", o.fault.device) ||
+      !j.get_string("class", cls) || !j.get_string("verdict", verdict) ||
+      !j.get_string("status", status) || !j.get_bool("dc", o.dc) ||
+      !j.get_bool("scan", o.scan) || !j.get_bool("bist", o.bist) ||
+      !j.get_bool("anomalous", o.anomalous) || !j.get_bool("budget_blown", o.budget_blown) ||
+      !j.get_number("elapsed_sec", elapsed) || !j.get_number("newton_iterations", iters)) {
+    return false;
+  }
+  if (!fault::fault_class_from_name(cls, o.fault.cls)) return false;
+  if (!fault_verdict_from_name(verdict, o.verdict)) return false;
+  if (!spice::solve_status_from_string(status, o.status)) return false;
+  o.elapsed_sec = elapsed;
+  o.newton_iterations = static_cast<long>(iters);
+  return true;
+}
+
+/// Loads checkpointed outcomes, keyed by fault index. Lines that fail to
+/// parse (e.g. the torn tail of a killed run) or that disagree with the
+/// enumerated universe are skipped with a warning — the fault simply
+/// re-runs.
+std::unordered_map<std::size_t, FaultOutcome> load_checkpoint(
+    const std::string& path, const std::vector<StructuralFault>& faults) {
+  std::unordered_map<std::size_t, FaultOutcome> done;
+  for (const auto& line : util::read_lines(path)) {
+    FaultOutcome o;
+    if (!outcome_from_json(line, o)) {
+      util::log_warn("campaign: skipping malformed checkpoint line");
+      continue;
+    }
+    if (o.index >= faults.size() || faults[o.index].device != o.fault.device ||
+        faults[o.index].cls != o.fault.cls) {
+      util::log_warn("campaign: checkpoint line does not match fault universe; re-running " +
+                     o.fault.describe());
+      continue;
+    }
+    done[o.index] = std::move(o);  // later lines win
+  }
+  return done;
 }
 
 }  // namespace
@@ -65,6 +235,15 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
       opts.functional_circuit_only ? fault::test_circuitry_prefixes() : std::vector<std::string>{};
   auto faults = fault::enumerate_structural_faults(golden.netlist(), opts.prefixes, excludes);
   if (opts.max_faults != 0 && faults.size() > opts.max_faults) faults.resize(opts.max_faults);
+
+  std::unordered_map<std::size_t, FaultOutcome> done;
+  if (opts.resume && !opts.checkpoint_path.empty()) {
+    done = load_checkpoint(opts.checkpoint_path, faults);
+    if (!done.empty()) {
+      util::log_info("campaign: resumed " + std::to_string(done.size()) + "/" +
+                     std::to_string(faults.size()) + " faults from checkpoint");
+    }
+  }
 
   // The DC test runs with the coarse loop closed (mission-mode DC
   // operating point: Vc regulated at the window edge, strong pump and
@@ -88,8 +267,20 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (opts.progress) opts.progress(i, faults.size());
     const StructuralFault& f = faults[i];
+
+    if (const auto it = done.find(i); it != done.end()) {
+      report.outcomes.push_back(it->second);
+      continue;
+    }
+    if (opts.abort_check && opts.abort_check()) {
+      report.complete = false;
+      break;
+    }
+
     FaultOutcome outcome;
     outcome.fault = f;
+    outcome.index = i;
+    const Clock::time_point fault_start = Clock::now();
 
     const auto run_variant = [&](OpenLeak leak) {
       cells::LinkFrontend faulty = golden;
@@ -99,35 +290,67 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
         util::log_error("campaign: failed to inject " + f.describe());
         return StageResults{};
       }
-      return run_stages(faulty_closed, faulty, dc_ref, scan_ref, bist_ref, opts);
+      return run_stages(faulty_closed, faulty, dc_ref, scan_ref, bist_ref, opts, fault_start);
     };
 
-    if (f.needs_leak_variants() && opts.pessimistic_gate_opens) {
-      // Pessimistic convention: a floating gate's level is unknowable,
-      // so only faults flagged under BOTH leakage assumptions count.
-      const StageResults a = run_variant(OpenLeak::kToGround);
-      const StageResults b = run_variant(OpenLeak::kToVdd);
-      outcome.dc = a.dc && b.dc;
-      outcome.scan = a.scan && b.scan;
-      outcome.bist = a.bist && b.bist;
-      outcome.anomalous = a.anomalous || b.anomalous;
-    } else {
-      // Gate opens leak toward the device bulk; other opens have no
-      // leak dependence (the argument is ignored).
-      const OpenLeak leak = f.needs_leak_variants()
-                                ? fault::bulk_leak(golden.netlist(), f)
-                                : OpenLeak::kToGround;
-      const StageResults r = run_variant(leak);
-      outcome.dc = r.dc;
-      outcome.scan = r.scan;
-      outcome.bist = r.bist;
-      outcome.anomalous = r.anomalous;
+    // Survival guarantee: nothing a single fault does — divergence,
+    // singularity, or an unexpected exception — may abort the campaign.
+    try {
+      if (f.needs_leak_variants() && opts.pessimistic_gate_opens) {
+        // Pessimistic convention: a floating gate's level is unknowable,
+        // so only faults flagged under BOTH leakage assumptions count.
+        const StageResults a = run_variant(OpenLeak::kToGround);
+        const StageResults b = run_variant(OpenLeak::kToVdd);
+        outcome.dc = a.dc && b.dc;
+        outcome.scan = a.scan && b.scan;
+        outcome.bist = a.bist && b.bist;
+        outcome.anomalous = a.anomalous || b.anomalous;
+        outcome.budget_blown = a.budget_blown || b.budget_blown;
+        outcome.status = a.anomalous ? a.status : b.status;
+        outcome.newton_iterations = a.iterations + b.iterations;
+      } else {
+        // Gate opens leak toward the device bulk; other opens have no
+        // leak dependence (the argument is ignored).
+        const OpenLeak leak = f.needs_leak_variants()
+                                  ? fault::bulk_leak(golden.netlist(), f)
+                                  : OpenLeak::kToGround;
+        const StageResults r = run_variant(leak);
+        outcome.dc = r.dc;
+        outcome.scan = r.scan;
+        outcome.bist = r.bist;
+        outcome.anomalous = r.anomalous;
+        outcome.budget_blown = r.budget_blown;
+        outcome.status = r.status;
+        outcome.newton_iterations = r.iterations;
+      }
+    } catch (const std::exception& e) {
+      util::log_error("campaign: exception on " + f.describe() + ": " + e.what());
+      outcome.anomalous = true;
+      outcome.status = spice::SolveStatus::kNonFinite;
+    } catch (...) {
+      util::log_error("campaign: unknown exception on " + f.describe());
+      outcome.anomalous = true;
+      outcome.status = spice::SolveStatus::kNonFinite;
     }
 
-    if (outcome.anomalous) ++report.anomalous;
-    account(report.per_class[f.cls], outcome);
-    account(report.total, outcome);
+    outcome.elapsed_sec = seconds_since(fault_start);
+    outcome.verdict = classify(outcome);
+
+    if (!opts.checkpoint_path.empty()) {
+      if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
+        util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
+      }
+    }
     report.outcomes.push_back(std::move(outcome));
+  }
+
+  // Statistics are recomputed from the ordered outcome list — resumed
+  // and uninterrupted runs therefore produce identical reports.
+  for (const FaultOutcome& o : report.outcomes) {
+    if (o.anomalous) ++report.anomalous;
+    if (o.verdict == FaultVerdict::kQuarantined) ++report.quarantined;
+    account(report.per_class[o.fault.cls], o);
+    account(report.total, o);
   }
   return report;
 }

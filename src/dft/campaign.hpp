@@ -4,6 +4,18 @@
 // test, BIST). Gate opens run both floating-gate leak variants and
 // count as detected by a stage only if BOTH variants are.
 //
+// Survival layer: faulted netlists are exactly the inputs that make the
+// solver fail, so every fault is partitioned into one of three verdicts:
+//   detected    — a genuine signature mismatch on converged solves
+//   undetected  — all stages converged and agreed with the golden machine
+//   quarantined — the simulation never produced a trustworthy verdict
+//                 (solver failure or per-fault budget blown)
+// Quarantined faults are excluded from BOTH the numerator and the
+// denominator of every coverage figure — counting a non-converged fault
+// as "detected" would inflate coverage with faults the tester never
+// actually observed. The campaign can checkpoint each outcome to a JSONL
+// file and resume from it after an interruption.
+//
 // The output carries everything needed to regenerate Table I and the
 // 50.4% -> 74.3% -> 94.8% coverage progression of Section IV.
 #pragma once
@@ -18,9 +30,25 @@
 #include "dft/dc_test.hpp"
 #include "dft/scan_test.hpp"
 #include "fault/structural.hpp"
+#include "spice/solve_status.hpp"
 #include "util/stats.hpp"
 
 namespace lsl::dft {
+
+/// Final classification of one fault's campaign run.
+enum class FaultVerdict { kDetected, kUndetected, kQuarantined };
+
+std::string fault_verdict_name(FaultVerdict v);
+bool fault_verdict_from_name(const std::string& name, FaultVerdict& out);
+
+/// Per-fault simulation budgets. A fault that blows a budget is
+/// quarantined instead of stalling the whole campaign.
+struct CampaignBudget {
+  /// Wall-clock seconds per fault (per leak variant). 0 = unlimited.
+  double per_fault_sec = 0.0;
+  /// Newton iterations per fault (per leak variant). 0 = unlimited.
+  long max_newton_per_fault = 0;
+};
 
 struct CampaignOptions {
   /// Cell prefixes included in the universe (empty = every MOSFET/cap in
@@ -40,16 +68,36 @@ struct CampaignOptions {
   /// a detection only when BOTH are flagged.
   bool pessimistic_gate_opens = false;
   ToggleOptions toggle;
+  /// Per-fault simulation budgets (blown budget => quarantine).
+  CampaignBudget budget;
+  /// JSONL checkpoint file: each completed fault appends one line.
+  /// Empty = no checkpointing.
+  std::string checkpoint_path;
+  /// Load outcomes already present in `checkpoint_path` and skip those
+  /// faults instead of re-running them.
+  bool resume = false;
   /// Progress callback (fault index, total), for long campaign runs.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Cooperative interruption: polled before each fault; returning true
+  /// stops the campaign (report.complete = false). Combined with
+  /// checkpointing this makes campaigns kill-and-resume safe.
+  std::function<bool()> abort_check;
 };
 
 struct FaultOutcome {
   fault::StructuralFault fault;
+  std::size_t index = 0;  // position in the enumerated universe
   bool dc = false;
   bool scan = false;
   bool bist = false;
+  /// Some solve inside a stage failed (even if another stage detected).
   bool anomalous = false;
+  FaultVerdict verdict = FaultVerdict::kUndetected;
+  /// First failing solver status (kConverged when everything solved).
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  double elapsed_sec = 0.0;
+  long newton_iterations = 0;
+  bool budget_blown = false;
   bool detected_any() const { return dc || scan || bist; }
 };
 
@@ -60,15 +108,24 @@ struct ClassStats {
   util::Coverage cum_dc;    // cumulative: DC
   util::Coverage cum_scan;  // cumulative: DC + scan
   util::Coverage cum_all;   // cumulative: DC + scan + BIST (Table I)
+  /// Faults excluded from the coverage denominators above.
+  std::size_t quarantined = 0;
 };
 
 struct CampaignReport {
   std::map<fault::FaultClass, ClassStats> per_class;
   ClassStats total;
+  /// Faults with at least one failed solve (quarantined or not).
   std::size_t anomalous = 0;
+  /// Faults excluded from coverage (solver failure or budget blown).
+  std::size_t quarantined = 0;
+  /// False when an abort_check stopped the campaign before the last
+  /// fault; the checkpoint file holds the completed prefix.
+  bool complete = true;
   std::vector<FaultOutcome> outcomes;
 
   std::vector<const FaultOutcome*> undetected() const;
+  std::vector<const FaultOutcome*> quarantined_faults() const;
 };
 
 CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts = {});

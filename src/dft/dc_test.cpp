@@ -16,15 +16,17 @@ DcTestReference dc_test_reference(const cells::LinkFrontend& golden) {
   return ref;
 }
 
-DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReference& ref) {
+DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReference& ref,
+                          const spice::DcOptions& solve) {
   DcTestOutcome out;
   cells::LinkFrontend fe = fe_in;
 
   fe.set_data(true, true);
-  const auto r1 = fe.solve();
+  const auto r1 = fe.solve(solve);
+  out.iterations += r1.iterations;
   if (!r1.converged) {
-    out.detected = true;
     out.anomalous = true;
+    out.status = r1.status;
     return out;
   }
   if (!fe.observe(r1).same_static(ref.obs1)) {
@@ -33,10 +35,11 @@ DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReferenc
   }
 
   fe.set_data(false, false);
-  const auto r0 = fe.solve();
+  const auto r0 = fe.solve(solve);
+  out.iterations += r0.iterations;
   if (!r0.converged) {
-    out.detected = true;
     out.anomalous = true;
+    out.status = r0.status;
     return out;
   }
   out.detected = !fe.observe(r0).same_static(ref.obs0);

@@ -3,12 +3,15 @@
 // offset comparators that the DFT adds at the receiver (Fig 4/5) and
 // the charge-pump/CP-BIST comparators whose outputs land in scan flops.
 // A fault is detected when any captured comparator decision differs from
-// the fault-free machine on either vector.
+// the fault-free machine on either vector. A solve that fails leaves
+// `detected` false and flags the outcome anomalous with the structured
+// solver status — the campaign layer decides whether to quarantine.
 #pragma once
 
 #include <optional>
 
 #include "cells/link_frontend.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::dft {
 
@@ -23,13 +26,20 @@ struct DcTestReference {
 DcTestReference dc_test_reference(const cells::LinkFrontend& golden);
 
 struct DcTestOutcome {
+  /// Genuine signature mismatch against the golden reference.
   bool detected = false;
-  /// The faulty operating point failed to converge: the circuit is
-  /// pathological (reported separately, counted as detected).
+  /// A faulty-machine solve failed: the circuit is pathological and the
+  /// verdict is not trustworthy either way.
   bool anomalous = false;
+  /// Worst solver status across the stage's solves.
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  /// Newton iterations spent in this stage (campaign budget accounting).
+  long iterations = 0;
 };
 
-/// Runs the two-vector DC test on a (faulted) frontend.
-DcTestOutcome run_dc_test(const cells::LinkFrontend& fe, const DcTestReference& ref);
+/// Runs the two-vector DC test on a (faulted) frontend. `solve` lets
+/// the campaign thread per-fault budgets (timeout) into every solve.
+DcTestOutcome run_dc_test(const cells::LinkFrontend& fe, const DcTestReference& ref,
+                          const spice::DcOptions& solve = {});
 
 }  // namespace lsl::dft

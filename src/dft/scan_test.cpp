@@ -8,7 +8,7 @@ using cells::LinkFrontend;
 using spice::kGround;
 using spice::VSource;
 
-CpScanSignature cp_scan_signature(const LinkFrontend& fe_in) {
+CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOptions& solve) {
   CpScanSignature sig;
   const double th = fe_in.spec().vdd / 2.0;
   struct Combo {
@@ -36,8 +36,12 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in) {
     const auto hold_node = drive_nl.node("scan.vc_hold");
     drive_nl.add("scan.v_hold", VSource{hold_node, kGround, vc_prev});
     drive_nl.add("scan.r_hold", spice::Resistor{hold_node, fe.cp_ports().vc, 1e9});
-    const auto r_drive = fe.solve();
-    if (!r_drive.converged) return sig;  // valid stays false
+    const auto r_drive = fe.solve(solve);
+    sig.iterations += r_drive.iterations;
+    if (!r_drive.converged) {
+      sig.status = r_drive.status;
+      return sig;  // valid stays false
+    }
     const double vc_reached = fe.vc(r_drive);
     vc_prev = vc_reached;
 
@@ -47,8 +51,12 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in) {
     LinkFrontend cap = fe_in;
     cap.set_scan_mode(false);
     cap.netlist().add("scan.clamp_vc", VSource{cap.cp_ports().vc, kGround, vc_reached});
-    const auto r_cap = cap.solve();
-    if (!r_cap.converged) return sig;
+    const auto r_cap = cap.solve(solve);
+    sig.iterations += r_cap.iterations;
+    if (!r_cap.converged) {
+      sig.status = r_cap.status;
+      return sig;
+    }
     sig.window[i] = {r_cap.v(cap.netlist(), cap.cp_ports().cmp_hi) > th,
                      r_cap.v(cap.netlist(), cap.cp_ports().cmp_lo) > th};
   }
@@ -56,23 +64,33 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in) {
   return sig;
 }
 
-ScanStaticSignature scan_static_signature(const LinkFrontend& fe_in) {
+ScanStaticSignature scan_static_signature(const LinkFrontend& fe_in,
+                                          const spice::DcOptions& solve) {
   ScanStaticSignature sig;
   LinkFrontend fe = fe_in;
   fe.set_scan_mode(true);
   fe.set_data(true, true);
-  const auto r1 = fe.solve();
-  if (!r1.converged) return sig;
+  const auto r1 = fe.solve(solve);
+  sig.iterations += r1.iterations;
+  if (!r1.converged) {
+    sig.status = r1.status;
+    return sig;
+  }
   sig.obs1 = fe.observe(r1);
   fe.set_data(false, false);
-  const auto r0 = fe.solve();
-  if (!r0.converged) return sig;
+  const auto r0 = fe.solve(solve);
+  sig.iterations += r0.iterations;
+  if (!r0.converged) {
+    sig.status = r0.status;
+    return sig;
+  }
   sig.obs0 = fe.observe(r0);
   sig.valid = true;
   return sig;
 }
 
-ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions& opts) {
+ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions& opts,
+                                 const spice::DcOptions& solve) {
   ToggleSignature sig;
   LinkFrontend fe = fe_in;
   fe.set_scan_mode(true);
@@ -97,10 +115,16 @@ ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions&
   spice::TransientOptions topts;
   topts.t_stop = opts.cycles * opts.scan_period;
   topts.dt = opts.dt;
+  topts.newton = solve;
+  topts.timeout_sec = opts.timeout_sec;
   topts.probes = {nl.node_name(fe.term_ports().cmp_p_hi), nl.node_name(fe.term_ports().cmp_p_lo),
                   nl.node_name(fe.term_ports().cmp_n_hi), nl.node_name(fe.term_ports().cmp_n_lo)};
   const auto res = spice::run_transient(nl, drives, topts);
-  if (!res.ok) return sig;
+  sig.iterations += res.newton_iterations;
+  if (!res.ok) {
+    sig.status = res.status;
+    return sig;
+  }
 
   // Sample at the middle of each half period (where the tester's scan
   // flops capture). Concatenate the four observer decisions.
@@ -130,13 +154,14 @@ ScanTestReference scan_test_reference(const LinkFrontend& golden, bool with_togg
 }
 
 ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& ref,
-                              const ToggleOptions& topts) {
+                              const ToggleOptions& topts, const spice::DcOptions& solve) {
   ScanTestOutcome out;
 
-  const CpScanSignature cp = cp_scan_signature(fe);
+  const CpScanSignature cp = cp_scan_signature(fe, solve);
+  out.iterations += cp.iterations;
   if (!cp.valid) {
-    out.detected = true;
     out.anomalous = true;
+    out.status = cp.status;
     return out;
   }
   if (ref.cp.valid && !(cp == ref.cp)) {
@@ -144,10 +169,11 @@ ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& r
     return out;
   }
 
-  const ScanStaticSignature stat = scan_static_signature(fe);
+  const ScanStaticSignature stat = scan_static_signature(fe, solve);
+  out.iterations += stat.iterations;
   if (!stat.valid) {
-    out.detected = true;
     out.anomalous = true;
+    out.status = stat.status;
     return out;
   }
   if (ref.stat.valid && !stat.matches(ref.stat)) {
@@ -156,10 +182,11 @@ ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& r
   }
 
   if (ref.with_toggle) {
-    const ToggleSignature tog = toggle_signature(fe, topts);
+    const ToggleSignature tog = toggle_signature(fe, topts, solve);
+    out.iterations += tog.iterations;
     if (!tog.valid) {
-      out.detected = true;
       out.anomalous = true;
+      out.status = tog.status;
       return out;
     }
     if (ref.toggle.valid && !(tog == ref.toggle)) {

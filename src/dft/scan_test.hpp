@@ -12,6 +12,10 @@
 //     that exposes dynamic-mismatch faults (e.g. a drain open in one of
 //     the transmission-gate termination devices) that leave the DC
 //     solution untouched.
+//
+// Solver failures inside any procedure invalidate the signature and are
+// reported through the structured SolveStatus on the signature / outcome
+// instead of being folded into "detected".
 #pragma once
 
 #include <array>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "cells/link_frontend.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::dft {
 
@@ -34,16 +39,21 @@ struct CpScanSignature {
   // One (hi, lo) pair per combo: idle, UP, DN, UPst, DNst.
   std::array<std::pair<bool, bool>, 5> window;
   bool valid = false;
-  bool operator==(const CpScanSignature&) const = default;
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
+  bool operator==(const CpScanSignature& o) const { return window == o.window; }
 };
 
-CpScanSignature cp_scan_signature(const cells::LinkFrontend& fe);
+CpScanSignature cp_scan_signature(const cells::LinkFrontend& fe,
+                                  const spice::DcOptions& solve = {});
 
 /// Static scan-mode observations for both data vectors.
 struct ScanStaticSignature {
   cells::LinkObservation obs1;
   cells::LinkObservation obs0;
   bool valid = false;
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
   /// Scan strobes the same static comparator bits as the DC test (the
   /// CP-BIST bits belong to the post-lock BIST readout).
   bool matches(const ScanStaticSignature& o) const {
@@ -51,7 +61,8 @@ struct ScanStaticSignature {
   }
 };
 
-ScanStaticSignature scan_static_signature(const cells::LinkFrontend& fe);
+ScanStaticSignature scan_static_signature(const cells::LinkFrontend& fe,
+                                          const spice::DcOptions& solve = {});
 
 /// Comparator decisions sampled at the scan clock during the toggling
 /// pattern (100 MHz data through the link).
@@ -59,7 +70,11 @@ struct ToggleSignature {
   std::vector<bool> data_hi;  // line window comparator, one per sample
   std::vector<bool> data_lo;
   bool valid = false;
-  bool operator==(const ToggleSignature&) const = default;
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
+  bool operator==(const ToggleSignature& o) const {
+    return data_hi == o.data_hi && data_lo == o.data_lo;
+  }
 };
 
 struct ToggleOptions {
@@ -70,13 +85,20 @@ struct ToggleOptions {
   /// that expose slowed settling (dynamic mismatch); by mid-half-period
   /// a half-dead transmission gate has already caught up.
   int samples_per_cycle = 4;
+  /// Wall-clock budget for the toggle transient. 0 = unlimited.
+  double timeout_sec = 0.0;
 };
 
-ToggleSignature toggle_signature(const cells::LinkFrontend& fe, const ToggleOptions& opts = {});
+ToggleSignature toggle_signature(const cells::LinkFrontend& fe, const ToggleOptions& opts = {},
+                                 const spice::DcOptions& solve = {});
 
 struct ScanTestOutcome {
+  /// Genuine signature mismatch against the golden reference.
   bool detected = false;
-  bool anomalous = false;  // non-convergence in the faulty machine
+  /// Non-convergence in the faulty machine: verdict unreliable.
+  bool anomalous = false;
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  long iterations = 0;
 };
 
 /// Reference bundle captured once on the golden frontend.
@@ -91,7 +113,10 @@ ScanTestReference scan_test_reference(const cells::LinkFrontend& golden, bool wi
                                       const ToggleOptions& topts = {});
 
 /// Full scan test of a (faulted) frontend against the reference.
+/// `solve` threads per-fault budgets into every DC solve and the
+/// transient's per-step Newton.
 ScanTestOutcome run_scan_test(const cells::LinkFrontend& fe, const ScanTestReference& ref,
-                              const ToggleOptions& topts = {});
+                              const ToggleOptions& topts = {},
+                              const spice::DcOptions& solve = {});
 
 }  // namespace lsl::dft

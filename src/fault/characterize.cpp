@@ -21,11 +21,12 @@ struct ClampedSolve {
   DcResult r;
 };
 
-ClampedSolve solve_with_vc_clamp(LinkFrontend fe, double vc_value) {
+ClampedSolve solve_with_vc_clamp(LinkFrontend fe, double vc_value,
+                                 const spice::DcOptions& solve) {
   auto& nl = fe.netlist();
   nl.add("char.clamp_vc", VSource{fe.cp_ports().vc, kGround, vc_value});
   ClampedSolve out;
-  out.r = fe.solve();
+  out.r = fe.solve(solve);
   out.converged = out.r.converged;
   if (out.converged) out.i_clamp = out.r.i(nl, "char.clamp_vc");
   return out;
@@ -33,20 +34,28 @@ ClampedSolve solve_with_vc_clamp(LinkFrontend fe, double vc_value) {
 
 }  // namespace
 
-FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in) {
+FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
+                                      const spice::DcOptions& solve) {
   FrontendMeasurements m;
   const double vmid_window = 0.6;
   const double th = fe_in.spec().vdd / 2.0;
+
+  // Records a failed solve's status (first failure wins).
+  const auto fail = [&m](spice::SolveStatus st) {
+    m.converged = false;
+    if (m.status == spice::SolveStatus::kConverged) m.status = st;
+  };
 
   // --- line differential, both vectors ---------------------------------
   {
     LinkFrontend fe = fe_in;
     fe.set_data(true, true);
-    const DcResult r1 = fe.solve();
+    const DcResult r1 = fe.solve(solve);
     fe.set_data(false, false);
-    const DcResult r0 = fe.solve();
+    const DcResult r0 = fe.solve(solve);
+    m.iterations += r1.iterations + r0.iterations;
     if (!r1.converged || !r0.converged) {
-      m.converged = false;
+      fail(!r1.converged ? r1.status : r0.status);
       return m;
     }
     fe.set_data(true, true);  // restore for callers reusing fe (value copy anyway)
@@ -58,19 +67,22 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in) {
   {
     LinkFrontend fe = fe_in;
     fe.set_pump(true, false);
-    const ClampedSolve up = solve_with_vc_clamp(fe, vmid_window);
+    const ClampedSolve up = solve_with_vc_clamp(fe, vmid_window, solve);
     fe.set_pump(false, true);
-    const ClampedSolve dn = solve_with_vc_clamp(fe, vmid_window);
+    const ClampedSolve dn = solve_with_vc_clamp(fe, vmid_window, solve);
     fe.set_pump(false, false);
-    const ClampedSolve idle = solve_with_vc_clamp(fe, vmid_window);
+    const ClampedSolve idle = solve_with_vc_clamp(fe, vmid_window, solve);
     fe.set_strong_pump(true, false);
-    const ClampedSolve upst = solve_with_vc_clamp(fe, vmid_window);
+    const ClampedSolve upst = solve_with_vc_clamp(fe, vmid_window, solve);
     fe.set_strong_pump(false, true);
-    const ClampedSolve dnst = solve_with_vc_clamp(fe, vmid_window);
-    if (!up.converged || !dn.converged || !idle.converged || !upst.converged ||
-        !dnst.converged) {
-      m.converged = false;
-      return m;
+    const ClampedSolve dnst = solve_with_vc_clamp(fe, vmid_window, solve);
+    m.iterations += up.r.iterations + dn.r.iterations + idle.r.iterations +
+                    upst.r.iterations + dnst.r.iterations;
+    for (const ClampedSolve* s : {&up, &dn, &idle, &upst, &dnst}) {
+      if (!s->converged) {
+        fail(s->r.status);
+        return m;
+      }
     }
     // The clamp sinks what the pump sources.
     m.leak = idle.i_clamp;
@@ -85,10 +97,12 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in) {
   {
     LinkFrontend fe = fe_in;
     const auto obs_at = [&](double vc) {
-      const ClampedSolve s = solve_with_vc_clamp(fe, vc);
+      const ClampedSolve s = solve_with_vc_clamp(fe, vc, solve);
+      m.iterations += s.r.iterations;
       struct {
         bool ok, hi, lo;
-      } o{s.converged, false, false};
+        spice::SolveStatus st;
+      } o{s.converged, false, false, s.r.status};
       if (s.converged) {
         o.hi = s.r.v(fe.netlist(), fe.cp_ports().cmp_hi) > th;
         o.lo = s.r.v(fe.netlist(), fe.cp_ports().cmp_lo) > th;
@@ -99,7 +113,7 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in) {
     const auto mid = obs_at(0.6);
     const auto low = obs_at(0.15);   // below VL = 0.4
     if (!high.ok || !mid.ok || !low.ok) {
-      m.converged = false;
+      fail(!high.ok ? high.st : (!mid.ok ? mid.st : low.st));
       return m;
     }
     m.win_hi_at_high = high.hi;
@@ -115,6 +129,7 @@ BehavioralSignature derive_signature(const FrontendMeasurements& golden,
   BehavioralSignature sig;
   if (!faulty.converged) {
     sig.characterized = false;
+    sig.status = faulty.status;
     return sig;
   }
 

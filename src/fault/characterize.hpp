@@ -16,12 +16,17 @@
 #include "behav/synchronizer.hpp"
 #include "cells/link_frontend.hpp"
 #include "link/link.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::fault {
 
 /// Raw electrical measurements of a frontend.
 struct FrontendMeasurements {
   bool converged = true;   // every solve converged
+  /// Status of the first failed solve (kConverged when all passed).
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
+  /// Total Newton iterations across all measurement solves.
+  long iterations = 0;
   double diff1 = 0.0;      // line differential, data = 1
   double diff0 = 0.0;      // line differential, data = 0
   double i_up = 0.0;       // weak pump source current into clamped Vc (A)
@@ -36,13 +41,17 @@ struct FrontendMeasurements {
   bool win_lo_at_mid = false;
 };
 
-/// Measures a frontend (golden or faulted).
-FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe);
+/// Measures a frontend (golden or faulted). `solve` threads per-fault
+/// budgets (timeout, fallback policy) into every measurement solve.
+FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe,
+                                      const spice::DcOptions& solve = {});
 
 /// Behavioral parameter overrides derived from faulty-vs-golden
 /// measurements.
 struct BehavioralSignature {
   bool characterized = true;  // false when solves failed to converge
+  /// Propagated solver status from the faulty measurements.
+  spice::SolveStatus status = spice::SolveStatus::kConverged;
   double swing_scale = 1.0;
   double offset_shift = 0.0;  // differential offset at the slicer (V)
   double i_up_scale = 1.0;

@@ -28,4 +28,31 @@ std::size_t apply_vt_mismatch(spice::Netlist& nl, const std::vector<std::string>
   return count;
 }
 
+std::size_t McTally::failures() const {
+  std::size_t n = 0;
+  for (const auto& [st, c] : failed) n += c;
+  return n;
+}
+
+double McTally::yield() const {
+  const std::size_t n = trials();
+  return n == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(n);
+}
+
+std::string McTally::summary() const {
+  std::string s =
+      std::to_string(ok) + "/" + std::to_string(trials()) + " solved";
+  if (!failed.empty()) {
+    s += " (";
+    bool first = true;
+    for (const auto& [st, c] : failed) {
+      if (!first) s += ", ";
+      first = false;
+      s += std::to_string(c) + " " + spice::to_string(st);
+    }
+    s += ")";
+  }
+  return s;
+}
+
 }  // namespace lsl::fault

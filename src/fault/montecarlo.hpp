@@ -5,10 +5,13 @@
 // claim gets checked on the reproduction's netlists.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "spice/netlist.hpp"
+#include "spice/solve_status.hpp"
 #include "util/rng.hpp"
 
 namespace lsl::fault {
@@ -28,5 +31,29 @@ std::size_t apply_vt_mismatch(spice::Netlist& nl, const std::vector<std::string>
 
 /// Per-device sigma for reporting.
 double vt_sigma(const spice::Mosfet& m, const MismatchSpec& spec);
+
+/// Tally of per-trial solver outcomes for Monte-Carlo sweeps. Mismatch
+/// corners can push a circuit into the same degenerate operating points
+/// structural faults do; trials whose solves fail are classified by
+/// SolveStatus instead of being silently dropped, so yield figures stay
+/// honest about how many corners were actually simulated.
+struct McTally {
+  std::size_t ok = 0;
+  std::map<spice::SolveStatus, std::size_t> failed;  // by failure status
+
+  void record(spice::SolveStatus st) {
+    if (spice::solve_ok(st)) {
+      ++ok;
+    } else {
+      ++failed[st];
+    }
+  }
+  std::size_t failures() const;
+  std::size_t trials() const { return ok + failures(); }
+  /// Fraction of trials that produced a usable solution (0..1).
+  double yield() const;
+  /// One-line rendering, e.g. "58/60 solved (2 max_iterations)".
+  std::string summary() const;
+};
 
 }  // namespace lsl::fault

@@ -92,8 +92,10 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
 
   // Operating point.
   const DcResult op = solve_dc(nl, opts.op);
+  result.op_diag = op.diag;
   if (!op.converged) {
-    util::log_warn("run_ac: operating point failed to converge");
+    result.status = op.status;
+    util::log_warn("run_ac: operating point failed to converge (" + to_string(op.status) + ")");
     return result;
   }
 
@@ -187,6 +189,8 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
 
     std::vector<Complex> x;
     if (!lu_solve_complex(std::move(g), std::move(b), n, x)) {
+      result.status = SolveStatus::kSingularMatrix;
+      result.failed_freq = f;
       util::log_warn("run_ac: singular system at f=" + std::to_string(f));
       return result;
     }
@@ -196,6 +200,7 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
     }
   }
   result.ok = true;
+  result.status = SolveStatus::kConverged;
   return result;
 }
 

@@ -13,6 +13,7 @@
 
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::spice {
 
@@ -22,6 +23,12 @@ struct AcOptions {
 
 struct AcResult {
   bool ok = false;
+  SolveStatus status = SolveStatus::kMaxIterations;
+  /// Frequency at which the linearized system went singular (only
+  /// meaningful when status == kSingularMatrix).
+  double failed_freq = 0.0;
+  /// Operating-point diagnostics (iterations, fallback rung, worst node).
+  SolveDiagnostics op_diag;
   std::vector<double> freq;  // Hz
   /// probe node name -> complex voltage per frequency point.
   std::unordered_map<std::string, std::vector<std::complex<double>>> v;

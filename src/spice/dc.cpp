@@ -1,6 +1,7 @@
 #include "spice/dc.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -28,10 +29,30 @@ double DcResult::i(const Netlist& nl, const std::string& device_name) const {
 
 namespace {
 
-/// One damped Newton loop at fixed gmin / source scale. Returns true on
-/// convergence; x is updated in place with the best iterate either way.
-bool newton_loop(const Netlist& nl, double gmin, double source_scale, const DcOptions& opts,
-                 std::vector<double>& x, int& iterations_used) {
+using Clock = std::chrono::steady_clock;
+
+struct Deadline {
+  bool armed = false;
+  Clock::time_point at{};
+
+  static Deadline from_timeout(double timeout_sec, Clock::time_point start) {
+    Deadline d;
+    if (timeout_sec > 0.0) {
+      d.armed = true;
+      d.at = start + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_sec));
+    }
+    return d;
+  }
+  bool expired() const { return armed && Clock::now() >= at; }
+};
+
+/// One damped Newton loop at fixed gmin / source scale. x is updated in
+/// place with the best iterate whatever the outcome. Diagnostics track
+/// the last iteration's worst voltage update and its unknown index.
+SolveStatus newton_loop(const Netlist& nl, double gmin, double source_scale,
+                        const DcOptions& opts, const Deadline& deadline, std::vector<double>& x,
+                        SolveDiagnostics& diag) {
   Matrix g;
   std::vector<double> b;
   std::vector<double> x_new;
@@ -45,71 +66,139 @@ bool newton_loop(const Netlist& nl, double gmin, double source_scale, const DcOp
   const std::size_t n_volts = nl.node_count() - 1;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
-    ++iterations_used;
+    if (deadline.expired()) return SolveStatus::kTimeout;
+    ++diag.iterations;
     stamp_system(ctx, x, g, b);
-    if (!lu_solve(g, b, x_new)) return false;
+    if (!lu_solve(g, b, x_new)) return SolveStatus::kSingularMatrix;
 
     // Damp voltage updates; branch currents follow freely.
     double max_dv = 0.0;
+    std::size_t worst = 0;
     for (std::size_t k = 0; k < n_volts; ++k) {
       double dv = x_new[k] - x[k];
-      max_dv = std::max(max_dv, std::fabs(dv));
+      if (!std::isfinite(dv)) return SolveStatus::kNonFinite;
+      if (std::fabs(dv) > max_dv) {
+        max_dv = std::fabs(dv);
+        worst = k;
+      }
       dv = std::clamp(dv, -opts.damping_limit, opts.damping_limit);
       x[k] += dv;
     }
-    for (std::size_t k = n_volts; k < n; ++k) x[k] = x_new[k];
+    for (std::size_t k = n_volts; k < n; ++k) {
+      if (!std::isfinite(x_new[k])) return SolveStatus::kNonFinite;
+      x[k] = x_new[k];
+    }
 
-    if (max_dv < opts.abs_tol) return true;
+    diag.final_max_dv = max_dv;
+    // Unknown k is the voltage of node k+1 (Netlist::voltage_index).
+    diag.worst_node = nl.node_name(static_cast<NodeId>(worst + 1));
+    if (max_dv < opts.abs_tol) return SolveStatus::kConverged;
   }
-  return false;
+  return SolveStatus::kMaxIterations;
+}
+
+/// gmin continuation: solve a heavily leaky circuit, then tighten.
+SolveStatus gmin_stepping(const Netlist& nl, const DcOptions& opts, const Deadline& deadline,
+                          std::vector<double>& x, SolveDiagnostics& diag) {
+  x.assign(nl.unknown_count(), 0.0);
+  SolveStatus st = SolveStatus::kConverged;
+  for (double gmin = opts.gmin_start; gmin >= opts.gmin_final * 0.99; gmin *= 0.1) {
+    st = newton_loop(nl, gmin, 1.0, opts, deadline, x, diag);
+    if (st != SolveStatus::kConverged) return st;
+  }
+  return st;
+}
+
+/// Source-stepping homotopy: ramp all independent sources from 0.
+SolveStatus source_stepping(const Netlist& nl, const DcOptions& opts, const Deadline& deadline,
+                            std::vector<double>& x, SolveDiagnostics& diag) {
+  x.assign(nl.unknown_count(), 0.0);
+  SolveStatus st = SolveStatus::kConverged;
+  for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
+    st = newton_loop(nl, opts.gmin_final, std::min(scale, 1.0), opts, deadline, x, diag);
+    if (st != SolveStatus::kConverged) return st;
+  }
+  return st;
 }
 
 }  // namespace
 
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
   nl.reindex();
+  const auto start = Clock::now();
+  const Deadline deadline = Deadline::from_timeout(opts.timeout_sec, start);
+
   DcResult result;
   result.x = opts.initial_guess;
 
-  // Plain Newton from the supplied guess first: cheap and usually enough
-  // when warm-starting sweeps.
-  if (!result.x.empty() &&
-      newton_loop(nl, opts.gmin_final, 1.0, opts, result.x, result.iterations)) {
-    result.converged = true;
+  const auto finish = [&](SolveStatus st, int depth, const char* rung) {
+    result.status = st;
+    result.converged = (st == SolveStatus::kConverged);
+    result.diag.fallback_depth = depth;
+    result.diag.fallback = rung;
+    result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
+    result.iterations = result.diag.iterations;
+    if (!result.converged) {
+      util::log_warn("solve_dc: " + to_string(st) + " after " +
+                     std::to_string(result.diag.iterations) + " Newton iterations (rung: " +
+                     std::string(rung) + ", worst node: " + result.diag.worst_node + ")");
+    }
     return result;
+  };
+
+  // Rung 0 — plain Newton from the supplied guess: cheap and usually
+  // enough when warm-starting sweeps.
+  if (!result.x.empty()) {
+    const SolveStatus st =
+        newton_loop(nl, opts.gmin_final, 1.0, opts, deadline, result.x, result.diag);
+    if (st == SolveStatus::kConverged) return finish(st, 0, "newton");
+    if (st == SolveStatus::kTimeout) return finish(st, 0, "newton");
   }
 
-  // gmin stepping: solve an easy (heavily leaky) circuit, then tighten.
-  result.x.assign(nl.unknown_count(), 0.0);
-  bool ok = true;
-  for (double gmin = opts.gmin_start; gmin >= opts.gmin_final * 0.99; gmin *= 0.1) {
-    ok = newton_loop(nl, gmin, 1.0, opts, result.x, result.iterations);
-    if (!ok) break;
+  // Rung 1 — gmin stepping.
+  SolveStatus st = gmin_stepping(nl, opts, deadline, result.x, result.diag);
+  if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
+    return finish(st, 1, "gmin-step");
   }
-  if (ok) {
-    result.converged = true;
-    return result;
-  }
+  SolveStatus last = st;
 
+  // Rung 2 — source stepping.
   if (opts.allow_source_stepping) {
-    // Source stepping homotopy: ramp all independent sources from 0.
-    result.x.assign(nl.unknown_count(), 0.0);
-    ok = true;
-    for (double scale = 0.1; scale <= 1.0001; scale += 0.1) {
-      ok = newton_loop(nl, opts.gmin_final, std::min(scale, 1.0), opts, result.x,
-                       result.iterations);
-      if (!ok) break;
+    st = source_stepping(nl, opts, deadline, result.x, result.diag);
+    if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
+      return finish(st, 2, "source-step");
     }
-    if (ok) {
-      result.converged = true;
-      return result;
-    }
+    last = st;
   }
 
-  util::log_warn("solve_dc: failed to converge (" + std::to_string(result.iterations) +
-                 " total Newton iterations)");
-  result.converged = false;
-  return result;
+  // Rung 3 — heavier damping: small, safe steps with a bigger budget.
+  if (opts.allow_heavy_damping) {
+    DcOptions damped = opts;
+    damped.damping_limit = opts.damping_limit / 8.0;
+    damped.max_iterations = opts.max_iterations * 3;
+    st = gmin_stepping(nl, damped, deadline, result.x, result.diag);
+    if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
+      return finish(st, 3, "heavy-damping");
+    }
+    last = st;
+  }
+
+  // Rung 4 — relaxed tolerance on top of the heavy damping. A looser
+  // operating point still classifies most faults correctly; callers can
+  // see the rung in the diagnostics and weigh the result accordingly.
+  if (opts.allow_relaxed_tol) {
+    DcOptions relaxed = opts;
+    relaxed.damping_limit = opts.damping_limit / 8.0;
+    relaxed.max_iterations = opts.max_iterations * 3;
+    relaxed.abs_tol = opts.abs_tol * opts.relaxed_tol_factor;
+    st = gmin_stepping(nl, relaxed, deadline, result.x, result.diag);
+    if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
+      return finish(st, 4, "relaxed-tol");
+    }
+    last = st;
+  }
+
+  return finish(last, 4, "exhausted");
 }
 
 std::vector<DcResult> dc_sweep(const Netlist& nl, const std::string& vsrc_name,

@@ -1,13 +1,17 @@
 // DC operating-point solver: damped Newton–Raphson over the MNA system
-// with gmin stepping, and source stepping as a fallback homotopy. Faulted
-// netlists (floating gates, rail shorts) are exactly the hard cases the
-// continuation methods are there for.
+// behind a retry/fallback ladder — gmin stepping, source stepping,
+// heavier damping, relaxed tolerances. Faulted netlists (floating
+// gates, rail shorts) are exactly the hard cases the continuation
+// methods are there for; the ladder plus the structured SolveStatus
+// result mean a pathological circuit is classified, never thrown or
+// silently dropped.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "spice/netlist.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::spice {
 
@@ -18,15 +22,29 @@ struct DcOptions {
   double gmin_final = 1e-12;    // target gmin after stepping
   double gmin_start = 1e-3;     // initial gmin for stepping
   bool allow_source_stepping = true;
+  /// Deeper ladder rungs, tried only after gmin and source stepping
+  /// fail: re-run gmin stepping with the damping limit cut 8x and the
+  /// iteration budget tripled, then once more with abs_tol relaxed by
+  /// `relaxed_tol_factor` (the result is still useful for fault
+  /// *classification* even when the last digit is not trustworthy).
+  bool allow_heavy_damping = true;
+  bool allow_relaxed_tol = true;
+  double relaxed_tol_factor = 100.0;
+  /// Wall-clock budget for the whole solve, every rung included.
+  /// 0 = unlimited. Exceeding it returns SolveStatus::kTimeout.
+  double timeout_sec = 0.0;
   /// Optional initial guess for the MNA vector (e.g. previous solve).
   std::vector<double> initial_guess;
 };
 
 struct DcResult {
   bool converged = false;
-  /// MNA solution: node voltages then branch currents.
+  SolveStatus status = SolveStatus::kMaxIterations;
+  /// MNA solution: node voltages then branch currents. On failure this
+  /// holds the last iterate of the deepest ladder rung attempted.
   std::vector<double> x;
-  int iterations = 0;
+  int iterations = 0;  // total Newton iterations (mirrors diag.iterations)
+  SolveDiagnostics diag;
 
   /// Node voltage lookup (requires the netlist used for the solve).
   double v(const Netlist& nl, NodeId node) const;
@@ -36,7 +54,9 @@ struct DcResult {
   double i(const Netlist& nl, const std::string& device_name) const;
 };
 
-/// Solves the DC operating point.
+/// Solves the DC operating point. Never throws on numerical failure:
+/// the result's status says what went wrong (singular system, iteration
+/// budget, non-finite values, timeout) and the diagnostics say where.
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts = {});
 
 /// Sweeps the value of voltage source `vsrc_name` over `values`, warm

@@ -1,6 +1,7 @@
 #include "spice/transient.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -42,6 +43,9 @@ Waveform pwl_wave(std::vector<std::pair<double, double>> points) {
       if (t <= pts[i].first) {
         const auto& [t0, v0] = pts[i - 1];
         const auto& [t1, v1] = pts[i];
+        // Duplicate (or unsorted) timestamps are a vertical edge: snap
+        // to the later point instead of dividing by zero.
+        if (t1 - t0 <= 0.0) return v1;
         const double f = (t - t0) / (t1 - t0);
         return v0 + f * (v1 - v0);
       }
@@ -52,10 +56,12 @@ Waveform pwl_wave(std::vector<std::pair<double, double>> points) {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 /// Newton iteration for one transient step (or the t=0 operating point
 /// when ctx.dt == 0).
-bool step_newton(const Netlist& nl, const StampContext& ctx, const DcOptions& opts,
-                 std::vector<double>& x) {
+SolveStatus step_newton(const Netlist& nl, const StampContext& ctx, const DcOptions& opts,
+                        std::vector<double>& x, SolveDiagnostics& diag) {
   Matrix g;
   std::vector<double> b;
   std::vector<double> x_new;
@@ -64,19 +70,30 @@ bool step_newton(const Netlist& nl, const StampContext& ctx, const DcOptions& op
   const std::size_t n_volts = nl.node_count() - 1;
 
   for (int it = 0; it < opts.max_iterations; ++it) {
+    ++diag.iterations;
     stamp_system(ctx, x, g, b);
-    if (!lu_solve(g, b, x_new)) return false;
+    if (!lu_solve(g, b, x_new)) return SolveStatus::kSingularMatrix;
     double max_dv = 0.0;
+    std::size_t worst = 0;
     for (std::size_t k = 0; k < n_volts; ++k) {
       double dv = x_new[k] - x[k];
-      max_dv = std::max(max_dv, std::fabs(dv));
+      if (!std::isfinite(dv)) return SolveStatus::kNonFinite;
+      if (std::fabs(dv) > max_dv) {
+        max_dv = std::fabs(dv);
+        worst = k;
+      }
       dv = std::clamp(dv, -opts.damping_limit, opts.damping_limit);
       x[k] += dv;
     }
-    for (std::size_t k = n_volts; k < n; ++k) x[k] = x_new[k];
-    if (max_dv < opts.abs_tol) return true;
+    for (std::size_t k = n_volts; k < n; ++k) {
+      if (!std::isfinite(x_new[k])) return SolveStatus::kNonFinite;
+      x[k] = x_new[k];
+    }
+    diag.final_max_dv = max_dv;
+    diag.worst_node = nl.node_name(static_cast<NodeId>(worst + 1));
+    if (max_dv < opts.abs_tol) return SolveStatus::kConverged;
   }
-  return false;
+  return SolveStatus::kMaxIterations;
 }
 
 }  // namespace
@@ -85,6 +102,7 @@ TransientResult run_transient(const Netlist& nl,
                               const std::unordered_map<std::string, Waveform>& drives,
                               const TransientOptions& opts) {
   nl.reindex();
+  const auto start = Clock::now();
   TransientResult result;
 
   // Resolve waveform drives to device indices.
@@ -116,6 +134,15 @@ TransientResult run_transient(const Netlist& nl,
     for (const auto& [di, wave] : drive_list) overrides[di] = (*wave)(t);
   };
 
+  const auto fail = [&](SolveStatus st, double t) {
+    result.status = st;
+    result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
+    util::log_warn("run_transient: " + to_string(st) + " at t=" + std::to_string(t) +
+                   " (worst node: " + result.diag.worst_node + ", " +
+                   std::to_string(result.step_halvings) + " halvings)");
+    return result;  // result.ok stays false; partial waveform retained
+  };
+
   // Initial operating point at t = 0 (capacitors open, drives at t=0).
   set_overrides(0.0);
   StampContext ctx;
@@ -133,9 +160,11 @@ TransientResult run_transient(const Netlist& nl,
       std::get<VSource>(op.device(di).impl).volts = (*wave)(0.0);
     }
     const DcResult dc = solve_dc(op, opts.newton);
+    result.newton_iterations += dc.iterations;
     if (!dc.converged) {
+      result.diag = dc.diag;
       util::log_warn("run_transient: t=0 operating point failed to converge");
-      return result;
+      return fail(dc.status, 0.0);
     }
     x = dc.x;
   }
@@ -153,20 +182,59 @@ TransientResult run_transient(const Netlist& nl,
   };
   record(0.0);
 
-  ctx.dt = opts.dt;
   ctx.prev_node_v = &prev_node_v;
+  const bool timed = opts.timeout_sec > 0.0;
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(timed ? opts.timeout_sec : 0.0));
+
+  // Outer loop over the fixed output grid; inner loop adaptively
+  // sub-steps from one grid point to the next, halving the timestep on
+  // Newton failure. Samples land exactly on the k*dt grid, so consumers
+  // that index by time/dt are unaffected by the sub-stepping.
   const auto n_steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
+  const double dt_floor = opts.dt / static_cast<double>(1 << std::max(opts.max_step_halvings, 0));
+  std::vector<double> x_try;
   for (std::size_t step = 1; step <= n_steps; ++step) {
-    const double t = static_cast<double>(step) * opts.dt;
-    set_overrides(t);
-    if (!step_newton(nl, ctx, opts.newton, x)) {
-      util::log_warn("run_transient: step at t=" + std::to_string(t) + " failed to converge");
-      return result;  // result.ok stays false; partial waveform retained
+    const double t_grid = static_cast<double>(step) * opts.dt;
+    double t = static_cast<double>(step - 1) * opts.dt;
+    double sub_dt = opts.dt;
+
+    while (t < t_grid - 0.5 * dt_floor) {
+      if (timed && Clock::now() >= deadline) return fail(SolveStatus::kTimeout, t);
+      sub_dt = std::min(sub_dt, t_grid - t);
+      const double t_next = t + sub_dt;
+      set_overrides(t_next);
+      ctx.dt = sub_dt;
+      x_try = x;
+      SolveDiagnostics step_diag;
+      const SolveStatus st = step_newton(nl, ctx, opts.newton, x_try, step_diag);
+      result.newton_iterations += step_diag.iterations;
+      if (st == SolveStatus::kConverged) {
+        x = std::move(x_try);
+        t = t_next;
+        ++result.steps_accepted;
+        result.t_reached = t;
+        capture_node_v();
+        continue;
+      }
+      result.diag = step_diag;
+      if (sub_dt * 0.5 < dt_floor) {
+        // The floor is the backstop against infinite halving; report
+        // underflow unless the failure is structural (singular /
+        // non-finite), which no smaller step will fix.
+        const bool structural =
+            st == SolveStatus::kSingularMatrix || st == SolveStatus::kNonFinite;
+        return fail(structural ? st : SolveStatus::kTimestepUnderflow, t);
+      }
+      sub_dt *= 0.5;
+      ++result.step_halvings;
     }
-    capture_node_v();
-    record(t);
+    record(t_grid);
   }
   result.ok = true;
+  result.status = SolveStatus::kConverged;
+  result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
   return result;
 }
 

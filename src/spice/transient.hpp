@@ -1,7 +1,11 @@
-// Fixed-step transient analysis (backward Euler companion models, Newton
-// at every step). Used for cell-level dynamic tests: the clocked window
-// comparator at scan frequency, charge-pump step response, and the
-// transmission-gate dynamic-mismatch faults that DC cannot expose.
+// Transient analysis on a fixed output grid (backward Euler companion
+// models, Newton at every step) with adaptive sub-stepping: a grid step
+// whose Newton fails is retried at half the timestep, down to an
+// underflow floor, so sharp edges and faulted circuits degrade into a
+// classified SolveStatus instead of a truncated waveform. Used for
+// cell-level dynamic tests: the clocked window comparator at scan
+// frequency, charge-pump step response, and the transmission-gate
+// dynamic-mismatch faults that DC cannot expose.
 #pragma once
 
 #include <functional>
@@ -11,6 +15,7 @@
 
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
+#include "spice/solve_status.hpp"
 
 namespace lsl::spice {
 
@@ -24,13 +29,25 @@ struct TransientOptions {
   DcOptions newton;  // per-step Newton settings
   /// Nodes to record (by name). Empty records every node.
   std::vector<std::string> probes;
+  /// Max halvings of one grid step before declaring kTimestepUnderflow
+  /// (the sub-step floor is dt / 2^max_step_halvings).
+  int max_step_halvings = 12;
+  /// Wall-clock budget for the whole run. 0 = unlimited.
+  double timeout_sec = 0.0;
 };
 
 struct TransientResult {
   bool ok = false;
+  SolveStatus status = SolveStatus::kMaxIterations;
   std::vector<double> time;
   /// probe name -> sampled voltages, one per time point.
   std::unordered_map<std::string, std::vector<double>> v;
+
+  double t_reached = 0.0;    // last accepted time (partial on failure)
+  int steps_accepted = 0;    // accepted sub-steps (>= grid steps)
+  int step_halvings = 0;     // total halvings across the run
+  long newton_iterations = 0;
+  SolveDiagnostics diag;     // from the failing (or final) step
 
   const std::vector<double>& probe(const std::string& name) const;
   /// Value of a probe at the last time point.
@@ -43,11 +60,16 @@ Waveform dc_wave(double volts);
 /// first edge (to v_hi) at t = delay.
 Waveform square_wave(double v_lo, double v_hi, double period, double delay = 0.0);
 /// Piecewise-linear waveform over (t, v) breakpoints (clamps outside).
+/// Duplicate timestamps encode a vertical edge: the wave snaps to the
+/// later point's value.
 Waveform pwl_wave(std::vector<std::pair<double, double>> points);
 
 /// Runs transient analysis. `drives` maps VSource device names to
 /// waveforms; sources not listed keep their netlist value. The initial
 /// condition is the DC operating point with all drives evaluated at t=0.
+/// Samples land exactly on the k*dt output grid regardless of any
+/// internal sub-stepping. Numerical failure never throws: the result
+/// carries the partial waveform plus the status and diagnostics.
 TransientResult run_transient(const Netlist& nl,
                               const std::unordered_map<std::string, Waveform>& drives,
                               const TransientOptions& opts);

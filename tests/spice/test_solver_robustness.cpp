@@ -1,0 +1,172 @@
+// Fallback-ladder and failure-taxonomy tests: deliberately pathological
+// netlists must come back with the right SolveStatus — never a throw, a
+// hang, or a silent `false`.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spice/dc.hpp"
+#include "spice/transient.hpp"
+
+namespace lsl::spice {
+namespace {
+
+/// Three-stage CMOS inverter chain: a well-posed nonlinear circuit the
+/// solver handles easily at default settings.
+Netlist inverter_chain(int stages = 3) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+  const NodeId in = nl.node("in");
+  nl.add("v_in", VSource{in, kGround, 0.0});
+  NodeId prev = in;
+  for (int k = 0; k < stages; ++k) {
+    const NodeId out = nl.node("out" + std::to_string(k));
+    nl.add("mp" + std::to_string(k), Mosfet{out, prev, vdd, MosType::kPmos, 1.0e-6, 0.5e-6});
+    nl.add("mn" + std::to_string(k), Mosfet{out, prev, kGround, MosType::kNmos, 0.5e-6, 0.5e-6});
+    prev = out;
+  }
+  return nl;
+}
+
+TEST(SolverRobustness, HealthyCircuitReportsConvergedWithDiagnostics) {
+  const Netlist nl = inverter_chain();
+  const DcResult r = solve_dc(nl);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kConverged);
+  EXPECT_TRUE(solve_ok(r.status));
+  EXPECT_GT(r.diag.iterations, 0);
+  EXPECT_EQ(r.iterations, r.diag.iterations);
+  // No initial guess: the ladder starts at the gmin-stepping rung.
+  EXPECT_EQ(r.diag.fallback, "gmin-step");
+  EXPECT_EQ(r.diag.fallback_depth, 1);
+  EXPECT_LT(r.diag.final_max_dv, 1e-9);
+  EXPECT_FALSE(r.diag.worst_node.empty());
+}
+
+TEST(SolverRobustness, ContradictorySourcesReportSingularMatrix) {
+  // Two parallel voltage sources demanding different voltages on the
+  // same node: the MNA branch rows are linearly dependent, so every
+  // ladder rung hits a zero pivot. Must classify, not throw.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add("v1", VSource{a, kGround, 1.0});
+  nl.add("v2", VSource{a, kGround, 2.0});
+  nl.add("r1", Resistor{a, kGround, 1e3});
+  const DcResult r = solve_dc(nl);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kSingularMatrix);
+  EXPECT_FALSE(solve_ok(r.status));
+}
+
+TEST(SolverRobustness, TightIterationBudgetReportsMaxIterations) {
+  // With 2 iterations and damped steps the solver cannot move the rails
+  // up to 1.2 V on any rung (heavy damping gets 6 iterations of at most
+  // 0.05 V each). The ladder must exhaust and say why.
+  const Netlist nl = inverter_chain();
+  DcOptions opts;
+  opts.max_iterations = 2;
+  const DcResult r = solve_dc(nl, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kMaxIterations);
+  EXPECT_EQ(r.diag.fallback, "exhausted");
+  EXPECT_GT(r.diag.iterations, 0);
+}
+
+TEST(SolverRobustness, DisabledLadderRungsAreSkipped) {
+  const Netlist nl = inverter_chain();
+  DcOptions opts;
+  opts.max_iterations = 2;
+  opts.allow_source_stepping = false;
+  opts.allow_heavy_damping = false;
+  opts.allow_relaxed_tol = false;
+  const DcResult shallow = solve_dc(nl, opts);
+  EXPECT_FALSE(shallow.converged);
+
+  DcOptions full;
+  full.max_iterations = 2;
+  const DcResult deep = solve_dc(nl, full);
+  // The deeper ladder spends strictly more Newton iterations.
+  EXPECT_GT(deep.diag.iterations, shallow.diag.iterations);
+}
+
+TEST(SolverRobustness, WallClockDeadlineReportsTimeout) {
+  const Netlist nl = inverter_chain();
+  DcOptions opts;
+  opts.timeout_sec = 1e-12;  // expires before the first iteration
+  const DcResult r = solve_dc(nl, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status, SolveStatus::kTimeout);
+}
+
+TEST(SolverRobustness, TransientHalvesStepsAndStaysOnGrid) {
+  // A 1.2 V ramp across one 1 ns grid step with a 3-iteration Newton
+  // budget: the full step needs 4 damped iterations, the halved step
+  // fits. The run must succeed via sub-stepping and still sample on the
+  // k*dt grid.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add("v_in", VSource{in, kGround, 0.0});
+  nl.add("r1", Resistor{in, out, 1e3});
+  nl.add("c1", Capacitor{out, kGround, 1e-15});
+
+  TransientOptions opts;
+  opts.t_stop = 3e-9;
+  opts.dt = 1e-9;
+  opts.newton.max_iterations = 3;
+  opts.probes = {"in", "out"};
+  const auto drive = pwl_wave({{0.0, 0.0}, {1e-9, 1.2}});
+  const TransientResult res = run_transient(nl, {{"v_in", drive}}, opts);
+
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, SolveStatus::kConverged);
+  EXPECT_GT(res.step_halvings, 0);
+  EXPECT_GT(res.steps_accepted, 3);  // more sub-steps than grid steps
+  ASSERT_EQ(res.time.size(), 4u);    // t = 0, 1, 2, 3 ns exactly
+  for (std::size_t k = 0; k < res.time.size(); ++k) {
+    EXPECT_NEAR(res.time[k], static_cast<double>(k) * 1e-9, 1e-18);
+  }
+  EXPECT_NEAR(res.final_v("in"), 1.2, 1e-6);
+}
+
+TEST(SolverRobustness, UnresolvableEdgeReportsTimestepUnderflow) {
+  // A vertical edge (duplicate PWL timestamps) with a 2-iteration Newton
+  // budget: whatever the sub-step, some step contains the full 1.2 V
+  // jump, which damped Newton cannot traverse in 2 iterations. The
+  // halving ladder must bottom out and classify the failure.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add("v_in", VSource{in, kGround, 0.0});
+  nl.add("r1", Resistor{in, kGround, 1e3});
+
+  TransientOptions opts;
+  opts.t_stop = 2e-9;
+  opts.dt = 1e-9;
+  opts.newton.max_iterations = 2;
+  opts.max_step_halvings = 4;
+  opts.probes = {"in"};
+  const auto drive = pwl_wave({{0.0, 0.0}, {0.5e-9, 0.0}, {0.5e-9, 1.2}, {2e-9, 1.2}});
+  const TransientResult res = run_transient(nl, {{"v_in", drive}}, opts);
+
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.status, SolveStatus::kTimestepUnderflow);
+  EXPECT_LT(res.t_reached, opts.t_stop);
+  // The partial waveform up to the failure is retained.
+  EXPECT_FALSE(res.time.empty());
+}
+
+TEST(SolverRobustness, StatusNamesRoundTrip) {
+  for (const SolveStatus st :
+       {SolveStatus::kConverged, SolveStatus::kSingularMatrix, SolveStatus::kMaxIterations,
+        SolveStatus::kTimestepUnderflow, SolveStatus::kNonFinite, SolveStatus::kTimeout}) {
+    SolveStatus back = SolveStatus::kConverged;
+    ASSERT_TRUE(solve_status_from_string(to_string(st), back)) << to_string(st);
+    EXPECT_EQ(back, st);
+  }
+  SolveStatus ignored = SolveStatus::kConverged;
+  EXPECT_FALSE(solve_status_from_string("bogus", ignored));
+}
+
+}  // namespace
+}  // namespace lsl::spice

@@ -29,6 +29,18 @@ TEST(Waveforms, PwlInterpolatesAndClamps) {
   EXPECT_DOUBLE_EQ(w(9.0), 2.0);
 }
 
+TEST(Waveforms, PwlDuplicateTimestampsAreAVerticalEdge) {
+  // Regression: a repeated timestamp used to divide by zero and poison
+  // the waveform with NaN. It must instead snap to the later point.
+  const Waveform w = pwl_wave({{0.0, 0.0}, {1.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(w(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(w(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(w(3.0), 2.0);
+  for (double t = -0.5; t <= 3.5; t += 0.01) {
+    ASSERT_TRUE(std::isfinite(w(t))) << "t = " << t;
+  }
+}
+
 TEST(Transient, RcChargingMatchesAnalytic) {
   // R = 1k, C = 1nF, step 0 -> 1V at t=0+: v(t) = 1 - exp(-t/RC).
   Netlist nl;
