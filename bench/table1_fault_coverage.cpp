@@ -4,11 +4,54 @@
 // Flags:  --fast        cap the universe at 80 faults (smoke run)
 //         --pessimistic use the both-leak-variants gate-open convention
 //         --checkpoint <path>  JSONL checkpoint; resume if the file exists
+//         --threads N   campaign workers (0 = all hardware cores; default 0)
+//         --json <path> append a flat-JSON result line (threads, per-worker
+//                       fault counts, wall clock, speedup) for bench tracking
+//         --compare-serial  run serial first, then parallel, and verify the
+//                       canonical reports are byte-identical; records the
+//                       measured parallel speedup over the serial run
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/testable_link.hpp"
+#include "util/jsonl.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// One flat JSON line per campaign execution (nested arrays are not
+/// supported by the writer, so per-worker counts are comma-joined).
+void append_bench_json(const std::string& path, const char* mode,
+                       const lsl::dft::CampaignReport& report,
+                       double serial_wall_sec) {
+  const auto& exec = report.exec;
+  lsl::util::JsonObject o;
+  o.set("bench", "table1_fault_coverage");
+  o.set("mode", mode);
+  o.set("threads_used", exec.threads_used);
+  std::string per_worker;
+  for (std::size_t i = 0; i < exec.per_worker_faults.size(); ++i) {
+    if (i) per_worker += ",";
+    per_worker += std::to_string(exec.per_worker_faults[i]);
+  }
+  o.set("per_worker_faults", per_worker);
+  o.set("faults", report.outcomes.size());
+  o.set("wall_clock_sec", exec.wall_clock_sec);
+  o.set("fault_cpu_sec", exec.fault_cpu_sec);
+  o.set("cpu_over_wall_speedup", exec.speedup());
+  if (serial_wall_sec > 0.0 && exec.wall_clock_sec > 0.0) {
+    o.set("measured_speedup_vs_serial", serial_wall_sec / exec.wall_clock_sec);
+  }
+  o.set("coverage_pct", report.total.cum_all.percent());
+  o.set("complete", report.complete);
+  if (!lsl::util::append_line(path, o.str())) {
+    std::fprintf(stderr, "warning: could not append bench JSON to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -32,6 +75,9 @@ constexpr PaperRow kPaperRows[] = {
 
 int main(int argc, char** argv) {
   lsl::dft::CampaignOptions opts;
+  opts.num_threads = 0;  // all hardware cores unless --threads says otherwise
+  std::string json_path;
+  bool compare_serial = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) opts.max_faults = 80;
     if (std::strcmp(argv[i], "--pessimistic") == 0) opts.pessimistic_gate_opens = true;
@@ -39,10 +85,18 @@ int main(int argc, char** argv) {
       opts.checkpoint_path = argv[++i];
       opts.resume = true;
     }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.num_threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+    if (std::strcmp(argv[i], "--compare-serial") == 0) compare_serial = true;
   }
   // Survival defaults for the full sweep: no single fault may stall the
-  // campaign for more than a minute.
-  opts.budget.per_fault_sec = 60.0;
+  // campaign for more than a minute. (Note: a finite budget is the one
+  // thing that can make parallel and serial runs differ — a fault that
+  // times out under load may pass when run alone — so --compare-serial
+  // lifts it.)
+  opts.budget.per_fault_sec = compare_serial ? 0.0 : 60.0;
   opts.progress = [](std::size_t i, std::size_t n) {
     if (i % 50 == 0) std::fprintf(stderr, "  fault %zu / %zu\n", i, n);
   };
@@ -51,7 +105,36 @@ int main(int argc, char** argv) {
   std::printf("(structural fault campaign over the analog link frontend)\n\n");
 
   lsl::core::TestableLink link;
-  const auto report = link.run_fault_campaign(opts);
+  lsl::dft::CampaignReport report;
+  if (compare_serial) {
+    std::fprintf(stderr, "serial reference run (num_threads = 1)...\n");
+    lsl::dft::CampaignOptions serial_opts = opts;
+    serial_opts.num_threads = 1;
+    serial_opts.checkpoint_path.clear();  // must not skip the parallel run's work
+    const auto serial = link.run_fault_campaign(serial_opts);
+    const double serial_wall_sec = serial.exec.wall_clock_sec;
+    std::fprintf(stderr, "parallel run (num_threads = %zu requested)...\n", opts.num_threads);
+    report = link.run_fault_campaign(opts);
+    const bool identical = lsl::dft::report_canonical_jsonl(serial) ==
+                           lsl::dft::report_canonical_jsonl(report);
+    const double speedup = report.exec.wall_clock_sec > 0.0
+                               ? serial_wall_sec / report.exec.wall_clock_sec
+                               : 0.0;
+    std::printf("Serial/parallel canonical reports identical: %s\n", identical ? "yes" : "NO");
+    std::printf("Speedup: %.2fx (%zu threads, serial %.1fs -> parallel %.1fs)\n\n", speedup,
+                report.exec.threads_used, serial_wall_sec, report.exec.wall_clock_sec);
+    if (!json_path.empty()) {
+      append_bench_json(json_path, "serial_reference", serial, 0.0);
+      append_bench_json(json_path, "parallel", report, serial_wall_sec);
+    }
+    if (!identical) {
+      std::fprintf(stderr, "ERROR: parallel campaign diverged from serial reference\n");
+      return 1;
+    }
+  } else {
+    report = link.run_fault_campaign(opts);
+    if (!json_path.empty()) append_bench_json(json_path, "single", report, 0.0);
+  }
 
   lsl::util::Table table({"Defect", "Faults", "Coverage (measured)", "Coverage (paper)"});
   table.set_title("TABLE I: Coverage of different types of faults");

@@ -1,0 +1,40 @@
+# Script-mode job: configure + build + run the concurrency-sensitive
+# tests (thread pool, campaign executor) in a nested build tree with
+# -DLSL_SANITIZE=<address|thread>. Invoked by the sanitize_* ctest
+# entries registered when LSL_SANITIZER_JOBS=ON:
+#
+#   cmake -DSRC_DIR=... -DBIN_DIR=... -DSANITIZER=thread \
+#         -P cmake/sanitize_job.cmake
+foreach(var SRC_DIR BIN_DIR SANITIZER)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sanitize_job.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+message(STATUS "[sanitize_job] configuring ${SANITIZER} build in ${BIN_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SRC_DIR} -B ${BIN_DIR}
+          -DLSL_SANITIZE=${SANITIZER} -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[sanitize_job] configure failed (${SANITIZER})")
+endif()
+
+message(STATUS "[sanitize_job] building test_util + test_dft + test_fault")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BIN_DIR} --parallel
+          --target test_util test_dft test_fault
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[sanitize_job] build failed (${SANITIZER})")
+endif()
+
+message(STATUS "[sanitize_job] running ThreadPool/Campaign/McTrials tests under ${SANITIZER}")
+execute_process(
+  COMMAND ctest --test-dir ${BIN_DIR} -R "ThreadPool|Campaign|McTrials"
+          --output-on-failure
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[sanitize_job] tests failed under ${SANITIZER}")
+endif()
+message(STATUS "[sanitize_job] ${SANITIZER} job passed")

@@ -1,11 +1,17 @@
 #include "dft/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lsl::dft {
 
@@ -225,10 +231,93 @@ std::unordered_map<std::size_t, FaultOutcome> load_checkpoint(
   return done;
 }
 
+/// Everything one fault simulation reads. Shared read-only across the
+/// serial run; each pool worker gets its own instance pointing at its
+/// own cloned frontends so no netlist (with its mutable index cache)
+/// is ever touched from two threads.
+struct FaultSimContext {
+  const cells::LinkFrontend* golden = nullptr;
+  const cells::LinkFrontend* golden_closed = nullptr;
+  spice::NodeId vdd = spice::kGround;
+  spice::NodeId vdd_closed = spice::kGround;
+  const DcTestReference* dc_ref = nullptr;
+  const ScanTestReference* scan_ref = nullptr;
+  const BistTestReference* bist_ref = nullptr;
+  const CampaignOptions* opts = nullptr;
+};
+
+/// Simulates one fault through all enabled stages. Deterministic given
+/// the fault and context (modulo wall-clock budgets) and fully
+/// self-contained: copies the goldens, injects, runs stages, classifies.
+FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f,
+                            std::size_t index) {
+  const CampaignOptions& opts = *ctx.opts;
+  FaultOutcome outcome;
+  outcome.fault = f;
+  outcome.index = index;
+  const Clock::time_point fault_start = Clock::now();
+
+  const auto run_variant = [&](OpenLeak leak) {
+    cells::LinkFrontend faulty = *ctx.golden;
+    cells::LinkFrontend faulty_closed = *ctx.golden_closed;
+    if (!fault::inject(faulty.netlist(), f, leak, ctx.vdd) ||
+        !fault::inject(faulty_closed.netlist(), f, leak, ctx.vdd_closed)) {
+      util::log_error("campaign: failed to inject " + f.describe());
+      return StageResults{};
+    }
+    return run_stages(faulty_closed, faulty, *ctx.dc_ref, *ctx.scan_ref, *ctx.bist_ref, opts,
+                      fault_start);
+  };
+
+  // Survival guarantee: nothing a single fault does — divergence,
+  // singularity, or an unexpected exception — may abort the campaign.
+  try {
+    if (f.needs_leak_variants() && opts.pessimistic_gate_opens) {
+      // Pessimistic convention: a floating gate's level is unknowable,
+      // so only faults flagged under BOTH leakage assumptions count.
+      const StageResults a = run_variant(OpenLeak::kToGround);
+      const StageResults b = run_variant(OpenLeak::kToVdd);
+      outcome.dc = a.dc && b.dc;
+      outcome.scan = a.scan && b.scan;
+      outcome.bist = a.bist && b.bist;
+      outcome.anomalous = a.anomalous || b.anomalous;
+      outcome.budget_blown = a.budget_blown || b.budget_blown;
+      outcome.status = a.anomalous ? a.status : b.status;
+      outcome.newton_iterations = a.iterations + b.iterations;
+    } else {
+      // Gate opens leak toward the device bulk; other opens have no
+      // leak dependence (the argument is ignored).
+      const OpenLeak leak = f.needs_leak_variants() ? fault::bulk_leak(ctx.golden->netlist(), f)
+                                                    : OpenLeak::kToGround;
+      const StageResults r = run_variant(leak);
+      outcome.dc = r.dc;
+      outcome.scan = r.scan;
+      outcome.bist = r.bist;
+      outcome.anomalous = r.anomalous;
+      outcome.budget_blown = r.budget_blown;
+      outcome.status = r.status;
+      outcome.newton_iterations = r.iterations;
+    }
+  } catch (const std::exception& e) {
+    util::log_error("campaign: exception on " + f.describe() + ": " + e.what());
+    outcome.anomalous = true;
+    outcome.status = spice::SolveStatus::kNonFinite;
+  } catch (...) {
+    util::log_error("campaign: unknown exception on " + f.describe());
+    outcome.anomalous = true;
+    outcome.status = spice::SolveStatus::kNonFinite;
+  }
+
+  outcome.elapsed_sec = seconds_since(fault_start);
+  outcome.verdict = classify(outcome);
+  return outcome;
+}
+
 }  // namespace
 
 CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts) {
   CampaignReport report;
+  const Clock::time_point campaign_start = Clock::now();
 
   const auto vdd = *golden.netlist().find_node("vdd");
   const std::vector<std::string> excludes =
@@ -264,88 +353,123 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
     }
   }
 
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (opts.progress) opts.progress(i, faults.size());
-    const StructuralFault& f = faults[i];
+  const std::size_t n_threads = util::ThreadPool::resolve_threads(opts.num_threads);
+  report.exec.threads_used = n_threads;
 
-    if (const auto it = done.find(i); it != done.end()) {
-      report.outcomes.push_back(it->second);
-      continue;
-    }
-    if (opts.abort_check && opts.abort_check()) {
-      report.complete = false;
-      break;
-    }
+  if (n_threads <= 1) {
+    // Serial path: the classic loop, on the calling thread.
+    FaultSimContext ctx;
+    ctx.golden = &golden;
+    ctx.golden_closed = &golden_closed;
+    ctx.vdd = vdd;
+    ctx.vdd_closed = vdd_closed;
+    ctx.dc_ref = &dc_ref;
+    ctx.scan_ref = &scan_ref;
+    ctx.bist_ref = &bist_ref;
+    ctx.opts = &opts;
 
-    FaultOutcome outcome;
-    outcome.fault = f;
-    outcome.index = i;
-    const Clock::time_point fault_start = Clock::now();
-
-    const auto run_variant = [&](OpenLeak leak) {
-      cells::LinkFrontend faulty = golden;
-      cells::LinkFrontend faulty_closed = golden_closed;
-      if (!fault::inject(faulty.netlist(), f, leak, vdd) ||
-          !fault::inject(faulty_closed.netlist(), f, leak, vdd_closed)) {
-        util::log_error("campaign: failed to inject " + f.describe());
-        return StageResults{};
+    std::size_t fresh = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (opts.progress) opts.progress(i, faults.size());
+      if (const auto it = done.find(i); it != done.end()) {
+        report.outcomes.push_back(it->second);
+        continue;
       }
-      return run_stages(faulty_closed, faulty, dc_ref, scan_ref, bist_ref, opts, fault_start);
+      if (opts.abort_check && opts.abort_check()) {
+        report.complete = false;
+        break;
+      }
+      FaultOutcome outcome = simulate_fault(ctx, faults[i], i);
+      ++fresh;
+      report.exec.fault_cpu_sec += outcome.elapsed_sec;
+      if (!opts.checkpoint_path.empty()) {
+        if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
+          util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
+        }
+      }
+      report.outcomes.push_back(std::move(outcome));
+    }
+    report.exec.per_worker_faults = {fresh};
+  } else {
+    // Parallel path: per-worker cloned goldens (a Netlist carries a
+    // mutable index cache, so no frontend may be shared between
+    // threads), dynamic work distribution via the pool, a single
+    // mutex-guarded funnel for checkpoint appends and user callbacks,
+    // and a merge ordered by fault index regardless of completion
+    // order.
+    util::ThreadPool pool(n_threads);
+
+    struct WorkerState {
+      cells::LinkFrontend golden;
+      cells::LinkFrontend golden_closed;
+      FaultSimContext ctx;
+      std::size_t fresh = 0;
+      double cpu_sec = 0.0;
     };
-
-    // Survival guarantee: nothing a single fault does — divergence,
-    // singularity, or an unexpected exception — may abort the campaign.
-    try {
-      if (f.needs_leak_variants() && opts.pessimistic_gate_opens) {
-        // Pessimistic convention: a floating gate's level is unknowable,
-        // so only faults flagged under BOTH leakage assumptions count.
-        const StageResults a = run_variant(OpenLeak::kToGround);
-        const StageResults b = run_variant(OpenLeak::kToVdd);
-        outcome.dc = a.dc && b.dc;
-        outcome.scan = a.scan && b.scan;
-        outcome.bist = a.bist && b.bist;
-        outcome.anomalous = a.anomalous || b.anomalous;
-        outcome.budget_blown = a.budget_blown || b.budget_blown;
-        outcome.status = a.anomalous ? a.status : b.status;
-        outcome.newton_iterations = a.iterations + b.iterations;
-      } else {
-        // Gate opens leak toward the device bulk; other opens have no
-        // leak dependence (the argument is ignored).
-        const OpenLeak leak = f.needs_leak_variants()
-                                  ? fault::bulk_leak(golden.netlist(), f)
-                                  : OpenLeak::kToGround;
-        const StageResults r = run_variant(leak);
-        outcome.dc = r.dc;
-        outcome.scan = r.scan;
-        outcome.bist = r.bist;
-        outcome.anomalous = r.anomalous;
-        outcome.budget_blown = r.budget_blown;
-        outcome.status = r.status;
-        outcome.newton_iterations = r.iterations;
-      }
-    } catch (const std::exception& e) {
-      util::log_error("campaign: exception on " + f.describe() + ": " + e.what());
-      outcome.anomalous = true;
-      outcome.status = spice::SolveStatus::kNonFinite;
-    } catch (...) {
-      util::log_error("campaign: unknown exception on " + f.describe());
-      outcome.anomalous = true;
-      outcome.status = spice::SolveStatus::kNonFinite;
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    workers.reserve(pool.worker_slots());
+    for (std::size_t w = 0; w < pool.worker_slots(); ++w) {
+      auto ws = std::make_unique<WorkerState>(WorkerState{golden, golden_closed, {}, 0, 0.0});
+      ws->ctx.golden = &ws->golden;
+      ws->ctx.golden_closed = &ws->golden_closed;
+      ws->ctx.vdd = vdd;
+      ws->ctx.vdd_closed = vdd_closed;
+      ws->ctx.dc_ref = &dc_ref;
+      ws->ctx.scan_ref = &scan_ref;
+      ws->ctx.bist_ref = &bist_ref;
+      ws->ctx.opts = &opts;
+      workers.push_back(std::move(ws));
     }
 
-    outcome.elapsed_sec = seconds_since(fault_start);
-    outcome.verdict = classify(outcome);
+    std::vector<std::optional<FaultOutcome>> slots(faults.size());
+    std::mutex writer_mu;  // checkpoint funnel + callback serialization
+    std::atomic<bool> aborted{false};
 
-    if (!opts.checkpoint_path.empty()) {
-      if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
-        util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
+    pool.for_each(faults.size(), [&](std::size_t i, std::size_t w) {
+      WorkerState& ws = *workers[w];
+      if (opts.progress) {
+        std::lock_guard<std::mutex> lk(writer_mu);
+        opts.progress(i, faults.size());
       }
+      if (const auto it = done.find(i); it != done.end()) {
+        slots[i] = it->second;
+        return;
+      }
+      if (aborted.load(std::memory_order_relaxed)) return;
+      if (opts.abort_check) {
+        std::lock_guard<std::mutex> lk(writer_mu);
+        if (opts.abort_check()) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      FaultOutcome outcome = simulate_fault(ws.ctx, faults[i], i);
+      ++ws.fresh;
+      ws.cpu_sec += outcome.elapsed_sec;
+      if (!opts.checkpoint_path.empty()) {
+        std::lock_guard<std::mutex> lk(writer_mu);
+        if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
+          util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
+        }
+      }
+      slots[i] = std::move(outcome);
+    });
+
+    report.complete = !aborted.load();
+    for (auto& slot : slots) {
+      if (slot.has_value()) report.outcomes.push_back(std::move(*slot));
     }
-    report.outcomes.push_back(std::move(outcome));
+    for (const auto& ws : workers) {
+      report.exec.per_worker_faults.push_back(ws->fresh);
+      report.exec.fault_cpu_sec += ws->cpu_sec;
+    }
   }
 
-  // Statistics are recomputed from the ordered outcome list — resumed
-  // and uninterrupted runs therefore produce identical reports.
+  report.exec.wall_clock_sec = seconds_since(campaign_start);
+
+  // Statistics are recomputed from the index-ordered outcome list —
+  // resumed, serial, and parallel runs therefore produce identical
+  // reports for identical outcome sets.
   for (const FaultOutcome& o : report.outcomes) {
     if (o.anomalous) ++report.anomalous;
     if (o.verdict == FaultVerdict::kQuarantined) ++report.quarantined;
@@ -353,6 +477,26 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
     account(report.total, o);
   }
   return report;
+}
+
+std::string outcome_canonical_json(const FaultOutcome& o) {
+  FaultOutcome canonical = o;
+  canonical.elapsed_sec = 0.0;  // wall clock is the one machine-dependent field
+  return outcome_to_json(canonical);
+}
+
+std::string report_canonical_jsonl(const CampaignReport& report) {
+  std::vector<const FaultOutcome*> ordered;
+  ordered.reserve(report.outcomes.size());
+  for (const auto& o : report.outcomes) ordered.push_back(&o);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const FaultOutcome* a, const FaultOutcome* b) { return a->index < b->index; });
+  std::string out;
+  for (const auto* o : ordered) {
+    out += outcome_canonical_json(*o);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace lsl::dft

@@ -51,6 +51,23 @@ struct CampaignBudget {
 };
 
 struct CampaignOptions {
+  /// Campaign executor width. 1 (default) runs the classic serial loop
+  /// on the calling thread; 0 resolves to hardware_concurrency; N > 1
+  /// runs N pool workers, each with its own cloned golden frontends and
+  /// solver scratch. Coverage reports are byte-identical (after
+  /// canonical ordering) at every thread count as long as the per-fault
+  /// wall-clock budget is unlimited — a wall-clock budget can time out
+  /// differently under load, which is inherent, not a scheduler bug.
+  ///
+  /// Threading contract for the callbacks below: with num_threads != 1,
+  /// `progress` and `abort_check` are invoked from worker threads but
+  /// always serialized under the campaign's writer mutex (the same lock
+  /// that guards checkpoint appends), so existing single-threaded
+  /// callbacks stay race-free — they just must not call back into the
+  /// campaign. `progress` reports faults as workers pick them up, so
+  /// indices arrive out of order; treat the first argument as an
+  /// identifier, not a monotone counter.
+  std::size_t num_threads = 1;
   /// Cell prefixes included in the universe (empty = every MOSFET/cap in
   /// the frontend netlist).
   std::vector<std::string> prefixes;
@@ -112,9 +129,30 @@ struct ClassStats {
   std::size_t quarantined = 0;
 };
 
+/// How the campaign actually executed: recorded into every report so
+/// the benches can serialize the perf trajectory next to the coverage
+/// figures.
+struct CampaignExecStats {
+  /// Resolved worker count (after the 0 = hardware_concurrency mapping).
+  std::size_t threads_used = 1;
+  /// Faults freshly simulated by each worker (resumed faults excluded).
+  std::vector<std::size_t> per_worker_faults;
+  /// Wall clock of the whole campaign run.
+  double wall_clock_sec = 0.0;
+  /// Sum of per-fault simulation time across freshly run faults — the
+  /// serial cost of the same work.
+  double fault_cpu_sec = 0.0;
+  /// Effective speedup over a serial run of the same faults:
+  /// fault_cpu_sec / wall_clock_sec (≈1 for the serial path).
+  double speedup() const {
+    return wall_clock_sec > 0.0 ? fault_cpu_sec / wall_clock_sec : 0.0;
+  }
+};
+
 struct CampaignReport {
   std::map<fault::FaultClass, ClassStats> per_class;
   ClassStats total;
+  CampaignExecStats exec;
   /// Faults with at least one failed solve (quarantined or not).
   std::size_t anomalous = 0;
   /// Faults excluded from coverage (solver failure or budget blown).
@@ -129,5 +167,17 @@ struct CampaignReport {
 };
 
 CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts = {});
+
+/// Canonical (timing-free) JSONL serialization of one outcome: the
+/// checkpoint line with elapsed_sec zeroed, so two runs of the same
+/// universe produce byte-identical lines regardless of machine load.
+std::string outcome_canonical_json(const FaultOutcome& o);
+
+/// Canonical JSONL of a whole report: outcomes sorted by fault index,
+/// one canonical line each. Byte-identical across thread counts,
+/// checkpoint orderings, and serial<->parallel resume histories — the
+/// equality the differential tests and the bench's identity check
+/// assert.
+std::string report_canonical_jsonl(const CampaignReport& report);
 
 }  // namespace lsl::dft

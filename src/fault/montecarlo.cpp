@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace lsl::fault {
 
 double vt_sigma(const spice::Mosfet& m, const MismatchSpec& spec) {
@@ -53,6 +55,22 @@ std::string McTally::summary() const {
     s += ")";
   }
   return s;
+}
+
+McTally run_mc_trials(std::size_t trials, const McRunOptions& opts,
+                      const std::function<spice::SolveStatus(std::size_t, util::Pcg32&)>& trial) {
+  std::vector<spice::SolveStatus> statuses(trials, spice::SolveStatus::kConverged);
+  const std::size_t n = util::ThreadPool::resolve_threads(opts.num_threads);
+  util::ThreadPool pool(n <= 1 ? 0 : n);  // 1 thread = inline on the caller
+  pool.for_each(trials, [&](std::size_t t, std::size_t) {
+    // One independent PCG32 stream per trial: the draw sequence depends
+    // only on (seed, t), never on which worker ran the trial or when.
+    util::Pcg32 rng(opts.seed, static_cast<std::uint64_t>(t));
+    statuses[t] = trial(t, rng);
+  });
+  McTally tally;
+  for (const auto st : statuses) tally.record(st);
+  return tally;
 }
 
 }  // namespace lsl::fault

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,5 +57,24 @@ struct McTally {
   /// One-line rendering, e.g. "58/60 solved (2 max_iterations)".
   std::string summary() const;
 };
+
+/// Execution knobs for run_mc_trials.
+struct McRunOptions {
+  /// 0 = hardware_concurrency, 1 = serial on the calling thread.
+  std::size_t num_threads = 1;
+  /// Base seed; trial t draws from an independent PCG32 stream
+  /// Pcg32(seed, t), so results are bit-identical at any thread count.
+  std::uint64_t seed = 1;
+};
+
+/// Runs `trials` independent Monte-Carlo trials on a thread pool and
+/// merges the per-trial solver statuses into a tally in trial order.
+/// `trial` receives the trial index and a generator private to that
+/// trial; it must not share mutable state between invocations except
+/// through per-trial slots it owns (e.g. writing measurement t into its
+/// own element of a pre-sized vector — the pool guarantees each index
+/// runs exactly once).
+McTally run_mc_trials(std::size_t trials, const McRunOptions& opts,
+                      const std::function<spice::SolveStatus(std::size_t trial, util::Pcg32& rng)>& trial);
 
 }  // namespace lsl::fault

@@ -1,5 +1,6 @@
 #include "spice/stamp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -141,13 +142,21 @@ void stamp_system(const StampContext& ctx, const std::vector<double>& x, Matrix&
       add_g(r->a, r->b, 1.0 / r->ohms);
     } else if (const auto* c = std::get_if<Capacitor>(&dev.impl)) {
       if (ctx.dt > 0.0) {
-        const double gc = c->farads / ctx.dt;
-        add_g(c->a, c->b, gc);
-        const double va = ctx.prev_node_v->at(c->a);
-        const double vb = ctx.prev_node_v->at(c->b);
-        // Backward-Euler companion: i(a->b) = gc*(vab - vab_prev); the
-        // history term is a current source b -> a of gc*vab_prev.
-        add_i(c->b, c->a, gc * (va - vb));
+        const double vab_prev = ctx.prev_node_v->at(c->a) - ctx.prev_node_v->at(c->b);
+        if (ctx.integrator == Integrator::kTrapezoidal) {
+          // Trapezoidal companion: i(a->b) = (2C/dt)*(vab - vab_prev)
+          // - i_prev; conductance 2C/dt with the previous voltage AND
+          // the previous current in the history source.
+          const double gc = 2.0 * c->farads / ctx.dt;
+          add_g(c->a, c->b, gc);
+          add_i(c->b, c->a, gc * vab_prev + ctx.prev_cap_i->at(di));
+        } else {
+          // Backward-Euler companion: i(a->b) = gc*(vab - vab_prev); the
+          // history term is a current source b -> a of gc*vab_prev.
+          const double gc = c->farads / ctx.dt;
+          add_g(c->a, c->b, gc);
+          add_i(c->b, c->a, gc * vab_prev);
+        }
       }
       // DC: capacitor is open; gmin keeps isolated nodes defined.
     } else if (const auto* vs = std::get_if<VSource>(&dev.impl)) {
@@ -200,6 +209,30 @@ void stamp_system(const StampContext& ctx, const std::vector<double>& x, Matrix&
       add_i(m->d, m->s, ieq);
     }
   }
+}
+
+std::vector<double> mna_residual(const StampContext& ctx, const std::vector<double>& x) {
+  Matrix g;
+  std::vector<double> b;
+  stamp_system(ctx, x, g, b);
+  const std::size_t n = ctx.nl->unknown_count();
+  std::vector<double> r(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -b[i];
+    for (std::size_t j = 0; j < n; ++j) acc += g.at(i, j) * x[j];
+    r[i] = acc;
+  }
+  return r;
+}
+
+double kcl_residual_norm(const StampContext& ctx, const std::vector<double>& x) {
+  const std::vector<double> r = mna_residual(ctx, x);
+  const std::size_t n_volts = ctx.nl->node_count() - 1;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n_volts && i < r.size(); ++i) {
+    worst = std::max(worst, std::fabs(r[i]));
+  }
+  return worst;
 }
 
 }  // namespace lsl::spice

@@ -169,12 +169,33 @@ TransientResult run_transient(const Netlist& nl,
     x = dc.x;
   }
 
-  // Node-indexed voltage history for the capacitor companions.
+  // Node-indexed voltage history for the capacitor companions, plus the
+  // per-capacitor branch currents the trapezoidal companion carries.
+  // The t=0 operating point is a DC steady state, so capacitor currents
+  // start at zero.
   std::vector<double> prev_node_v(nl.node_count(), 0.0);
+  std::vector<double> prev_cap_i(nl.devices().size(), 0.0);
   auto capture_node_v = [&] {
     for (NodeId id = 1; id < nl.node_count(); ++id) prev_node_v[id] = node_voltage(nl, x, id);
   };
   capture_node_v();
+  // Updates the capacitor-current history after a step of `dt_sub` is
+  // accepted (prev_node_v still holds the pre-step voltages).
+  auto update_cap_currents = [&](double dt_sub) {
+    const auto& devices = nl.devices();
+    for (std::size_t di = 0; di < devices.size(); ++di) {
+      if (!devices[di].enabled) continue;
+      const auto* c = std::get_if<Capacitor>(&devices[di].impl);
+      if (c == nullptr) continue;
+      const double vab_new = node_voltage(nl, x, c->a) - node_voltage(nl, x, c->b);
+      const double vab_prev = prev_node_v[c->a] - prev_node_v[c->b];
+      if (opts.integrator == Integrator::kTrapezoidal) {
+        prev_cap_i[di] = (2.0 * c->farads / dt_sub) * (vab_new - vab_prev) - prev_cap_i[di];
+      } else {
+        prev_cap_i[di] = (c->farads / dt_sub) * (vab_new - vab_prev);
+      }
+    }
+  };
 
   auto record = [&](double t) {
     result.time.push_back(t);
@@ -182,7 +203,9 @@ TransientResult run_transient(const Netlist& nl,
   };
   record(0.0);
 
+  ctx.integrator = opts.integrator;
   ctx.prev_node_v = &prev_node_v;
+  ctx.prev_cap_i = &prev_cap_i;
   const bool timed = opts.timeout_sec > 0.0;
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -212,6 +235,13 @@ TransientResult run_transient(const Netlist& nl,
       result.newton_iterations += step_diag.iterations;
       if (st == SolveStatus::kConverged) {
         x = std::move(x_try);
+        // Residual and current history both need the PRE-step voltages
+        // still in prev_node_v, so they run before capture_node_v.
+        if (opts.record_kcl_residual) {
+          result.max_kcl_residual =
+              std::max(result.max_kcl_residual, kcl_residual_norm(ctx, x));
+        }
+        update_cap_currents(sub_dt);
         t = t_next;
         ++result.steps_accepted;
         result.t_reached = t;

@@ -16,6 +16,7 @@
 #include "spice/dc.hpp"
 #include "spice/netlist.hpp"
 #include "spice/solve_status.hpp"
+#include "spice/stamp.hpp"
 
 namespace lsl::spice {
 
@@ -34,6 +35,14 @@ struct TransientOptions {
   int max_step_halvings = 12;
   /// Wall-clock budget for the whole run. 0 = unlimited.
   double timeout_sec = 0.0;
+  /// Capacitor companion-model discretization. Backward Euler (default)
+  /// is L-stable; trapezoidal is second-order and used by the property
+  /// tests as an independent cross-check.
+  Integrator integrator = Integrator::kBackwardEuler;
+  /// Record the max KCL residual over every accepted solution into
+  /// TransientResult::max_kcl_residual (one extra stamp per accepted
+  /// sub-step; off by default so campaigns pay nothing).
+  bool record_kcl_residual = false;
 };
 
 struct TransientResult {
@@ -47,6 +56,9 @@ struct TransientResult {
   int steps_accepted = 0;    // accepted sub-steps (>= grid steps)
   int step_halvings = 0;     // total halvings across the run
   long newton_iterations = 0;
+  /// Max KCL residual (amps) over accepted solutions; only populated
+  /// when TransientOptions::record_kcl_residual is set.
+  double max_kcl_residual = 0.0;
   SolveDiagnostics diag;     // from the failing (or final) step
 
   const std::vector<double>& probe(const std::string& name) const;

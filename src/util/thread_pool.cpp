@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsl::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  queues_.resize(std::max<std::size_t>(num_threads, 1));
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  Task wrapped([fn = std::move(task)](std::size_t) { fn(); });
+  std::future<void> fut = wrapped.get_future();
+  if (workers_.empty()) {
+    wrapped(0);  // inline mode: run on the submitting thread, worker 0
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queues_[next_queue_].push_back(std::move(wrapped));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Task t([&fn, i](std::size_t worker) { fn(i, worker); });
+      futures.push_back(t.get_future());
+      t(0);
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < count; ++i) {
+        Task t([&fn, i](std::size_t worker) { fn(i, worker); });
+        futures.push_back(t.get_future());
+        queues_[i % queues_.size()].push_back(std::move(t));
+        ++queued_;
+      }
+    }
+    cv_.notify_all();
+  }
+  // Wait for everything, then surface the lowest-indexed failure so the
+  // observable outcome does not depend on scheduling order.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+bool ThreadPool::pop_locked(std::size_t self, Task& out) {
+  if (!queues_[self].empty()) {
+    out = std::move(queues_[self].front());
+    queues_[self].pop_front();
+    --queued_;
+    return true;
+  }
+  // Steal from the back of the fullest other deque.
+  std::size_t victim = queues_.size();
+  std::size_t best = 0;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (q != self && queues_[q].size() > best) {
+      best = queues_[q].size();
+      victim = q;
+    }
+  }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  --queued_;
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return queued_ > 0 || stopping_; });
+      if (!pop_locked(self, task)) {
+        if (stopping_) return;  // drained: queued work always completes
+        continue;
+      }
+    }
+    task(self);
+  }
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,88 @@
+// Work-stealing thread pool for the embarrassingly parallel layers of
+// the repo: the structural-fault campaign (one task per fault), the
+// Monte-Carlo mismatch sweeps (one task per trial), and the benches that
+// drive them. Each worker owns a deque; submission round-robins tasks
+// across the deques and an idle worker steals from the back of the
+// busiest one. Tasks here are coarse (whole SPICE solves, milliseconds
+// to seconds each), so the deques share one lock — contention is
+// unmeasurable at that granularity and a single mutex keeps the stealing
+// protocol trivially correct under TSan.
+//
+// Determinism contract: the pool schedules tasks in an arbitrary order
+// on arbitrary workers. Callers that need deterministic results (the
+// campaign's coverage reports must be byte-identical at any thread
+// count) must make each task independent — per-worker scratch state,
+// results written to per-task slots — and merge by task index, never by
+// completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is the inline degenerate mode: no
+  /// threads are created and every task runs on the submitting thread at
+  /// submission time (useful for tests and as a guaranteed-serial path).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Completes every queued task, then joins the workers. Queued work is
+  /// drained, not dropped: a future obtained from submit() is always
+  /// satisfied (with a value or an exception) by the time the destructor
+  /// returns.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  std::size_t thread_count() const { return workers_.size(); }
+  /// Number of distinct worker indices tasks can observe: thread_count()
+  /// or 1 in inline mode. Size per-worker scratch arrays with this.
+  std::size_t worker_slots() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Maps the user-facing thread-count knob to a concrete count:
+  /// 0 -> hardware_concurrency (at least 1), anything else unchanged.
+  static std::size_t resolve_threads(std::size_t requested);
+
+  /// Enqueues a task. The future carries any exception the task throws.
+  /// In inline mode the task has already run when submit returns.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(index, worker) for every index in [0, count), distributed
+  /// dynamically across the workers (an idle worker steals, so one slow
+  /// index never serializes the rest). `worker` is in [0, worker_slots())
+  /// and is stable for the duration of one call, so fn may use it to
+  /// index per-worker scratch state without locking. Blocks until every
+  /// index has run; if any invocation threw, rethrows the exception of
+  /// the lowest-indexed failing task (deterministic regardless of
+  /// scheduling).
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t index, std::size_t worker)>& fn);
+
+ private:
+  /// One task: runs with the executing worker's index (0 inline).
+  using Task = std::packaged_task<void(std::size_t)>;
+
+  void worker_main(std::size_t self);
+  /// Pops own front, else steals the back of another deque. Caller holds mu_.
+  bool pop_locked(std::size_t self, Task& out);
+
+  std::vector<std::deque<Task>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_queue_ = 0;  // round-robin submission cursor
+  std::size_t queued_ = 0;      // tasks sitting in deques
+  bool stopping_ = false;
+};
+
+}  // namespace lsl::util
