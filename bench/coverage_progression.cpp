@@ -4,17 +4,22 @@
 //
 // Flags:  --fast       cap the analog universe at 80 faults (smoke run)
 //         --threads N  campaign workers (0 = all hardware cores; default 0)
+//         --trace <path>    Chrome trace_event JSON of the run (Perfetto)
+//         --metrics <path>  util::Metrics snapshot JSON at exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "core/testable_link.hpp"
+#include "observability.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   lsl::dft::CampaignOptions opts;
   opts.num_threads = 0;  // all hardware cores unless --threads says otherwise
+  lsl::bench::Observability obs;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse_flag(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--fast") == 0) opts.max_faults = 80;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       opts.num_threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -26,11 +31,14 @@ int main(int argc, char** argv) {
 
   std::printf("Reproducing Section IV: cumulative structural fault coverage per test stage\n\n");
 
+  obs.start();
   lsl::core::TestableLink link;
   const auto report = link.run_fault_campaign(opts);
-  std::fprintf(stderr, "campaign: %zu faults on %zu thread(s), %.1fs wall, %.1fs fault CPU (%.2fx)\n",
+  char speedup[32] = "n/a";
+  if (const auto sp = report.exec.speedup()) std::snprintf(speedup, sizeof(speedup), "%.2fx", *sp);
+  std::fprintf(stderr, "campaign: %zu faults on %zu thread(s), %.1fs wall, %.1fs fault CPU (%s)\n",
                report.outcomes.size(), report.exec.threads_used, report.exec.wall_clock_sec,
-               report.exec.fault_cpu_sec, report.exec.speedup());
+               report.exec.fault_cpu_sec, speedup);
 
   lsl::util::Table table({"Test stage", "Coverage (measured)", "Coverage (paper)"});
   table.set_title("Cumulative analog structural-fault coverage");
@@ -65,5 +73,6 @@ int main(int argc, char** argv) {
   if (!digital.undetected.empty()) {
     std::printf("Undetected digital faults: %zu\n", digital.undetected.size());
   }
+  obs.finish();
   return 0;
 }

@@ -1,0 +1,79 @@
+// Shared --trace/--metrics flag handling for the bench binaries.
+//
+//   --trace <file>    capture a Chrome trace_event JSON (Perfetto-loadable)
+//                     of the whole run; see docs/OBSERVABILITY.md
+//   --metrics <file>  write a util::Metrics snapshot JSON at exit
+//
+// Either flag also switches on Metrics detailed timing (the extra clock
+// reads for stamp-vs-factorization attribution and per-step wall time).
+// Usage: call parse_flag() from the argv loop, start() before the
+// workload, finish() after it (pools joined).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace lsl::bench {
+
+struct Observability {
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Consumes "--trace <file>" / "--metrics <file>" at argv[i]
+  /// (advancing i past the value); returns false on any other flag.
+  bool parse_flag(int argc, char** argv, int& i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+      return true;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+      return true;
+    }
+    return false;
+  }
+
+  void start() const {
+    if (trace_path.empty() && metrics_path.empty()) return;
+    util::Metrics::set_detailed_timing(true);
+    if (!trace_path.empty()) {
+      util::Tracer::instance().start();
+      util::Tracer::set_thread_name("main");
+      if (!util::Tracer::instance().enabled()) {
+        std::fprintf(stderr, "warning: tracer compiled out (LSL_TRACE=OFF); %s not written\n",
+                     trace_path.c_str());
+      }
+    }
+  }
+
+  void finish() const {
+    if (!trace_path.empty() && util::Tracer::instance().enabled()) {
+      auto& tracer = util::Tracer::instance();
+      tracer.stop();
+      const std::uint64_t dropped = tracer.dropped();
+      if (tracer.write_json(trace_path)) {
+        std::fprintf(stderr, "trace written to %s", trace_path.c_str());
+        if (dropped > 0) {
+          std::fprintf(stderr, " (%llu events dropped — ring full)",
+                       static_cast<unsigned long long>(dropped));
+        }
+        std::fprintf(stderr, "\n");
+      } else {
+        std::fprintf(stderr, "warning: could not write trace to %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (util::Metrics::instance().write_json(metrics_path)) {
+        std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write metrics to %s\n", metrics_path.c_str());
+      }
+    }
+  }
+};
+
+}  // namespace lsl::bench

@@ -5,6 +5,10 @@
 // histograms the measured trip point; the deliberate skew must keep
 // every instance's offset positive (same decision polarity) and below
 // the fault-free input (so real faults still flip it).
+//
+// Flags:  --threads N       MC workers (0 = all hardware cores; default 0)
+//         --trace <path>    Chrome trace_event JSON of the run (Perfetto)
+//         --metrics <path>  util::Metrics snapshot JSON at exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +16,7 @@
 
 #include "cells/comparator.hpp"
 #include "fault/montecarlo.hpp"
+#include "observability.hpp"
 #include "spice/dc.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -58,11 +63,14 @@ double measure_offset(lsl::util::Pcg32& rng, double w_offset, lsl::spice::SolveS
 int main(int argc, char** argv) {
   constexpr std::size_t kTrials = 60;
   std::size_t threads = 0;  // all hardware cores unless --threads says otherwise
+  lsl::bench::Observability obs;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse_flag(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     }
   }
+  obs.start();
   std::printf("Monte-Carlo comparator offset under Pelgrom VT mismatch (%zu instances)\n",
               kTrials);
   std::printf("(A_VT = 3.5 mV*um; fault-free comparator input ~ +39 mV)\n\n");
@@ -107,5 +115,6 @@ int main(int argc, char** argv) {
       "coin flip — the paper's sizing rule. The rare tail escape is what the\n"
       "paper's remark about common-centroid layout (which halves the random\n"
       "sigma) is for.\n");
+  obs.finish();
   return 0;
 }

@@ -10,12 +10,15 @@
 //         --compare-serial  run serial first, then parallel, and verify the
 //                       canonical reports are byte-identical; records the
 //                       measured parallel speedup over the serial run
+//         --trace <path>    Chrome trace_event JSON of the run (Perfetto)
+//         --metrics <path>  util::Metrics snapshot JSON at exit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/testable_link.hpp"
+#include "observability.hpp"
 #include "util/jsonl.hpp"
 #include "util/table.hpp"
 
@@ -40,7 +43,7 @@ void append_bench_json(const std::string& path, const char* mode,
   o.set("faults", report.outcomes.size());
   o.set("wall_clock_sec", exec.wall_clock_sec);
   o.set("fault_cpu_sec", exec.fault_cpu_sec);
-  o.set("cpu_over_wall_speedup", exec.speedup());
+  if (const auto speedup = exec.speedup()) o.set("cpu_over_wall_speedup", *speedup);
   if (serial_wall_sec > 0.0 && exec.wall_clock_sec > 0.0) {
     o.set("measured_speedup_vs_serial", serial_wall_sec / exec.wall_clock_sec);
   }
@@ -78,7 +81,9 @@ int main(int argc, char** argv) {
   opts.num_threads = 0;  // all hardware cores unless --threads says otherwise
   std::string json_path;
   bool compare_serial = false;
+  lsl::bench::Observability obs;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse_flag(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--fast") == 0) opts.max_faults = 80;
     if (std::strcmp(argv[i], "--pessimistic") == 0) opts.pessimistic_gate_opens = true;
     if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
 
   std::printf("Reproducing TABLE I: coverage of different types of faults\n");
   std::printf("(structural fault campaign over the analog link frontend)\n\n");
+  obs.start();
 
   lsl::core::TestableLink link;
   lsl::dft::CampaignReport report;
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
       append_bench_json(json_path, "parallel", report, serial_wall_sec);
     }
     if (!identical) {
+      obs.finish();
       std::fprintf(stderr, "ERROR: parallel campaign diverged from serial reference\n");
       return 1;
     }
@@ -135,6 +142,7 @@ int main(int argc, char** argv) {
     report = link.run_fault_campaign(opts);
     if (!json_path.empty()) append_bench_json(json_path, "single", report, 0.0);
   }
+  obs.finish();
 
   lsl::util::Table table({"Defect", "Faults", "Coverage (measured)", "Coverage (paper)"});
   table.set_title("TABLE I: Coverage of different types of faults");

@@ -11,7 +11,9 @@
 
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace lsl::dft {
 
@@ -250,11 +252,14 @@ struct FaultSimContext {
 /// the fault and context (modulo wall-clock budgets) and fully
 /// self-contained: copies the goldens, injects, runs stages, classifies.
 FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f,
-                            std::size_t index) {
+                            std::size_t index, std::size_t worker) {
   const CampaignOptions& opts = *ctx.opts;
   FaultOutcome outcome;
   outcome.fault = f;
   outcome.index = index;
+  util::TraceSpan span("fault", "campaign");
+  span.arg("index", static_cast<double>(index));
+  span.arg("worker", static_cast<double>(worker));
   const Clock::time_point fault_start = Clock::now();
 
   const auto run_variant = [&](OpenLeak leak) {
@@ -310,13 +315,38 @@ FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f
 
   outcome.elapsed_sec = seconds_since(fault_start);
   outcome.verdict = classify(outcome);
+
+  auto& m = util::metrics();
+  static util::Counter& faults = m.counter("campaign.faults");
+  static util::Counter& quarantined = m.counter("campaign.faults_quarantined");
+  static util::MetricHistogram& fault_seconds = m.histogram("campaign.fault_seconds");
+  static util::MetricHistogram& newton_per_fault = m.histogram("campaign.newton_per_fault");
+  faults.add(1);
+  if (outcome.verdict == FaultVerdict::kQuarantined) quarantined.add(1);
+  fault_seconds.observe(outcome.elapsed_sec);
+  newton_per_fault.observe(static_cast<double>(outcome.newton_iterations));
   return outcome;
+}
+
+/// Checkpoint append with write-latency accounting — the fsync inside
+/// util::append_line is the campaign's only disk dependency, so its
+/// tail is worth watching (docs/OBSERVABILITY.md's walkthrough).
+void checkpointed_append(const std::string& path, const FaultOutcome& outcome) {
+  static util::MetricHistogram& write_seconds =
+      util::metrics().histogram("campaign.checkpoint_write_seconds");
+  const Clock::time_point t0 = Clock::now();
+  const bool ok = util::append_line(path, outcome_to_json(outcome));
+  write_seconds.observe(seconds_since(t0));
+  if (!ok) {
+    util::log_warn("campaign: failed to append checkpoint line to " + path);
+  }
 }
 
 }  // namespace
 
 CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts) {
   CampaignReport report;
+  util::TraceSpan campaign_span("run_campaign", "campaign");
   const Clock::time_point campaign_start = Clock::now();
 
   const auto vdd = *golden.netlist().find_node("vdd");
@@ -324,9 +354,11 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
       opts.functional_circuit_only ? fault::test_circuitry_prefixes() : std::vector<std::string>{};
   auto faults = fault::enumerate_structural_faults(golden.netlist(), opts.prefixes, excludes);
   if (opts.max_faults != 0 && faults.size() > opts.max_faults) faults.resize(opts.max_faults);
+  campaign_span.arg("faults", static_cast<double>(faults.size()));
 
   std::unordered_map<std::size_t, FaultOutcome> done;
   if (opts.resume && !opts.checkpoint_path.empty()) {
+    util::TraceSpan span("campaign.load_checkpoint", "campaign");
     done = load_checkpoint(opts.checkpoint_path, faults);
     if (!done.empty()) {
       util::log_info("campaign: resumed " + std::to_string(done.size()) + "/" +
@@ -340,6 +372,7 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
   // drivable and run on the open-loop frontend.
   cells::LinkFrontendSpec closed_spec = golden.spec();
   closed_spec.close_coarse_loop = true;
+  util::TraceSpan ref_span("campaign.references", "campaign");
   const cells::LinkFrontend golden_closed(closed_spec);
   const auto vdd_closed = *golden_closed.netlist().find_node("vdd");
 
@@ -352,6 +385,7 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
       util::log_warn("campaign: golden BIST reference does not pass; BIST detections disabled");
     }
   }
+  ref_span.close();
 
   const std::size_t n_threads = util::ThreadPool::resolve_threads(opts.num_threads);
   report.exec.threads_used = n_threads;
@@ -379,14 +413,11 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
         report.complete = false;
         break;
       }
-      FaultOutcome outcome = simulate_fault(ctx, faults[i], i);
+      FaultOutcome outcome = simulate_fault(ctx, faults[i], i, 0);
       ++fresh;
       report.exec.fault_cpu_sec += outcome.elapsed_sec;
-      if (!opts.checkpoint_path.empty()) {
-        if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
-          util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
-        }
-      }
+      report.exec.newton_iterations += outcome.newton_iterations;
+      if (!opts.checkpoint_path.empty()) checkpointed_append(opts.checkpoint_path, outcome);
       report.outcomes.push_back(std::move(outcome));
     }
     report.exec.per_worker_faults = {fresh};
@@ -405,11 +436,12 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
       FaultSimContext ctx;
       std::size_t fresh = 0;
       double cpu_sec = 0.0;
+      long newton = 0;
     };
     std::vector<std::unique_ptr<WorkerState>> workers;
     workers.reserve(pool.worker_slots());
     for (std::size_t w = 0; w < pool.worker_slots(); ++w) {
-      auto ws = std::make_unique<WorkerState>(WorkerState{golden, golden_closed, {}, 0, 0.0});
+      auto ws = std::make_unique<WorkerState>(WorkerState{golden, golden_closed, {}, 0, 0.0, 0});
       ws->ctx.golden = &ws->golden;
       ws->ctx.golden_closed = &ws->golden_closed;
       ws->ctx.vdd = vdd;
@@ -443,29 +475,41 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
           return;
         }
       }
-      FaultOutcome outcome = simulate_fault(ws.ctx, faults[i], i);
+      FaultOutcome outcome = simulate_fault(ws.ctx, faults[i], i, w);
       ++ws.fresh;
       ws.cpu_sec += outcome.elapsed_sec;
+      ws.newton += outcome.newton_iterations;
       if (!opts.checkpoint_path.empty()) {
         std::lock_guard<std::mutex> lk(writer_mu);
-        if (!util::append_line(opts.checkpoint_path, outcome_to_json(outcome))) {
-          util::log_warn("campaign: failed to append checkpoint line to " + opts.checkpoint_path);
-        }
+        checkpointed_append(opts.checkpoint_path, outcome);
       }
       slots[i] = std::move(outcome);
     });
 
     report.complete = !aborted.load();
-    for (auto& slot : slots) {
-      if (slot.has_value()) report.outcomes.push_back(std::move(*slot));
+    {
+      util::TraceSpan merge_span("campaign.merge", "campaign");
+      for (auto& slot : slots) {
+        if (slot.has_value()) report.outcomes.push_back(std::move(*slot));
+      }
     }
     for (const auto& ws : workers) {
       report.exec.per_worker_faults.push_back(ws->fresh);
       report.exec.fault_cpu_sec += ws->cpu_sec;
+      report.exec.newton_iterations += ws->newton;
     }
+    report.exec.per_worker_steals = pool.steal_counts();
+    auto& steal_hist = util::metrics().histogram("campaign.steals_per_worker");
+    for (const std::size_t s : report.exec.per_worker_steals) {
+      report.exec.steals += s;
+      steal_hist.observe(static_cast<double>(s));
+    }
+    util::metrics().counter("campaign.steals").add(
+        static_cast<std::int64_t>(report.exec.steals));
   }
 
   report.exec.wall_clock_sec = seconds_since(campaign_start);
+  report.exec.metrics_json = util::metrics().snapshot_json();
 
   // Statistics are recomputed from the index-ordered outcome list —
   // resumed, serial, and parallel runs therefore produce identical

@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -137,15 +138,31 @@ struct CampaignExecStats {
   std::size_t threads_used = 1;
   /// Faults freshly simulated by each worker (resumed faults excluded).
   std::vector<std::size_t> per_worker_faults;
+  /// Work-stealing traffic: faults each worker pulled from another
+  /// worker's deque. Empty for the serial path (there is no pool).
+  std::vector<std::size_t> per_worker_steals;
+  /// Sum of per_worker_steals.
+  std::size_t steals = 0;
   /// Wall clock of the whole campaign run.
   double wall_clock_sec = 0.0;
   /// Sum of per-fault simulation time across freshly run faults — the
   /// serial cost of the same work.
   double fault_cpu_sec = 0.0;
+  /// Newton iterations summed over freshly simulated faults (resumed
+  /// outcomes excluded, like fault_cpu_sec).
+  long newton_iterations = 0;
+  /// Point-in-time snapshot of the process-wide util::Metrics registry
+  /// taken as the campaign finished (see docs/OBSERVABILITY.md for the
+  /// schema). Campaign benches embed it next to the coverage figures.
+  std::string metrics_json;
   /// Effective speedup over a serial run of the same faults:
-  /// fault_cpu_sec / wall_clock_sec (≈1 for the serial path).
-  double speedup() const {
-    return wall_clock_sec > 0.0 ? fault_cpu_sec / wall_clock_sec : 0.0;
+  /// fault_cpu_sec / wall_clock_sec (≈1 for the serial path). Absent
+  /// when nothing was measured — a default-constructed stats object or
+  /// a fully-resumed campaign that simulated zero fresh faults —
+  /// instead of a misleading 0.0 or inf.
+  std::optional<double> speedup() const {
+    if (wall_clock_sec <= 0.0 || fault_cpu_sec <= 0.0) return std::nullopt;
+    return fault_cpu_sec / wall_clock_sec;
   }
 };
 

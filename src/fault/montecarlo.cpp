@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace lsl::fault {
 
@@ -61,15 +63,23 @@ McTally run_mc_trials(std::size_t trials, const McRunOptions& opts,
                       const std::function<spice::SolveStatus(std::size_t, util::Pcg32&)>& trial) {
   std::vector<spice::SolveStatus> statuses(trials, spice::SolveStatus::kConverged);
   const std::size_t n = util::ThreadPool::resolve_threads(opts.num_threads);
+  util::TraceSpan run_span("run_mc_trials", "montecarlo");
+  run_span.arg("trials", static_cast<double>(trials));
   util::ThreadPool pool(n <= 1 ? 0 : n);  // 1 thread = inline on the caller
-  pool.for_each(trials, [&](std::size_t t, std::size_t) {
+  pool.for_each(trials, [&](std::size_t t, std::size_t w) {
+    util::TraceSpan span("mc_trial", "montecarlo");
+    span.arg("trial", static_cast<double>(t));
+    span.arg("worker", static_cast<double>(w));
     // One independent PCG32 stream per trial: the draw sequence depends
     // only on (seed, t), never on which worker ran the trial or when.
     util::Pcg32 rng(opts.seed, static_cast<std::uint64_t>(t));
     statuses[t] = trial(t, rng);
   });
+  util::metrics().counter("mc.steals").add(static_cast<std::int64_t>(pool.total_steals()));
   McTally tally;
   for (const auto st : statuses) tally.record(st);
+  util::metrics().counter("mc.trials").add(static_cast<std::int64_t>(tally.trials()));
+  util::metrics().counter("mc.failed_trials").add(static_cast<std::int64_t>(tally.failures()));
   return tally;
 }
 

@@ -8,6 +8,8 @@
 #include "spice/matrix.hpp"
 #include "spice/stamp.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lsl::spice {
 
@@ -65,11 +67,24 @@ SolveStatus newton_loop(const Netlist& nl, double gmin, double source_scale,
   if (x.size() != n) x.assign(n, 0.0);
   const std::size_t n_volts = nl.node_count() - 1;
 
+  // Stamp-vs-factorization attribution costs two clock reads per
+  // iteration, so it is opt-in (the --metrics/--trace bench flags).
+  const bool timed = util::Metrics::detailed_timing();
+
   for (int it = 0; it < opts.max_iterations; ++it) {
     if (deadline.expired()) return SolveStatus::kTimeout;
     ++diag.iterations;
+    Clock::time_point t0{};
+    if (timed) t0 = Clock::now();
     stamp_system(ctx, x, g, b);
-    if (!lu_solve(g, b, x_new)) return SolveStatus::kSingularMatrix;
+    Clock::time_point t1{};
+    if (timed) {
+      t1 = Clock::now();
+      diag.stamp_sec += std::chrono::duration<double>(t1 - t0).count();
+    }
+    const bool solved = lu_solve(g, b, x_new);
+    if (timed) diag.factor_sec += std::chrono::duration<double>(Clock::now() - t1).count();
+    if (!solved) return SolveStatus::kSingularMatrix;
 
     // Damp voltage updates; branch currents follow freely.
     double max_dv = 0.0;
@@ -123,8 +138,41 @@ SolveStatus source_stepping(const Netlist& nl, const DcOptions& opts, const Dead
 
 }  // namespace
 
+namespace {
+
+/// Per-solve bookkeeping into the metrics registry. Instrument handles
+/// are resolved once and cached — the per-solve cost is a handful of
+/// relaxed atomic adds. Instrument names: docs/OBSERVABILITY.md.
+void record_dc_metrics(const DcResult& result, const char* rung) {
+  auto& m = util::metrics();
+  static util::Counter& solves = m.counter("solver.dc.solves");
+  static util::Counter& failures = m.counter("solver.dc.failures");
+  static util::Counter& iterations = m.counter("solver.dc.newton_iterations");
+  static util::MetricHistogram& per_solve = m.histogram("solver.dc.newton_per_solve");
+  static util::MetricHistogram& seconds = m.histogram("solver.dc.solve_seconds");
+  static util::MetricHistogram& rung_depth = m.histogram("solver.dc.rung_depth");
+  solves.add(1);
+  if (!result.converged) failures.add(1);
+  iterations.add(result.diag.iterations);
+  per_solve.observe(static_cast<double>(result.diag.iterations));
+  seconds.observe(result.diag.elapsed_sec);
+  rung_depth.observe(static_cast<double>(result.diag.fallback_depth));
+  // One counter per ladder rung, so the snapshot shows how often each
+  // fallback actually earns its keep.
+  m.counter(std::string("solver.dc.rung.") + rung).add(1);
+  if (util::Metrics::detailed_timing()) {
+    static util::MetricHistogram& stamp = m.histogram("solver.dc.stamp_seconds");
+    static util::MetricHistogram& factor = m.histogram("solver.dc.factor_seconds");
+    stamp.observe(result.diag.stamp_sec);
+    factor.observe(result.diag.factor_sec);
+  }
+}
+
+}  // namespace
+
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
   nl.reindex();
+  util::TraceSpan solve_span("solve_dc", "solver");
   const auto start = Clock::now();
   const Deadline deadline = Deadline::from_timeout(opts.timeout_sec, start);
 
@@ -138,6 +186,9 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
     result.diag.fallback = rung;
     result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
     result.iterations = result.diag.iterations;
+    solve_span.arg("iterations", static_cast<double>(result.diag.iterations));
+    solve_span.arg("rung", static_cast<double>(depth));
+    record_dc_metrics(result, rung);
     if (!result.converged) {
       util::log_warn("solve_dc: " + to_string(st) + " after " +
                      std::to_string(result.diag.iterations) + " Newton iterations (rung: " +
@@ -149,6 +200,7 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
   // Rung 0 — plain Newton from the supplied guess: cheap and usually
   // enough when warm-starting sweeps.
   if (!result.x.empty()) {
+    util::TraceSpan span("dc.rung.newton", "solver");
     const SolveStatus st =
         newton_loop(nl, opts.gmin_final, 1.0, opts, deadline, result.x, result.diag);
     if (st == SolveStatus::kConverged) return finish(st, 0, "newton");
@@ -156,7 +208,11 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
   }
 
   // Rung 1 — gmin stepping.
-  SolveStatus st = gmin_stepping(nl, opts, deadline, result.x, result.diag);
+  SolveStatus st;
+  {
+    util::TraceSpan span("dc.rung.gmin-step", "solver");
+    st = gmin_stepping(nl, opts, deadline, result.x, result.diag);
+  }
   if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
     return finish(st, 1, "gmin-step");
   }
@@ -164,6 +220,7 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
 
   // Rung 2 — source stepping.
   if (opts.allow_source_stepping) {
+    util::TraceSpan span("dc.rung.source-step", "solver");
     st = source_stepping(nl, opts, deadline, result.x, result.diag);
     if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
       return finish(st, 2, "source-step");
@@ -173,6 +230,7 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
 
   // Rung 3 — heavier damping: small, safe steps with a bigger budget.
   if (opts.allow_heavy_damping) {
+    util::TraceSpan span("dc.rung.heavy-damping", "solver");
     DcOptions damped = opts;
     damped.damping_limit = opts.damping_limit / 8.0;
     damped.max_iterations = opts.max_iterations * 3;
@@ -187,6 +245,7 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts) {
   // operating point still classifies most faults correctly; callers can
   // see the rung in the diagnostics and weigh the result accordingly.
   if (opts.allow_relaxed_tol) {
+    util::TraceSpan span("dc.rung.relaxed-tol", "solver");
     DcOptions relaxed = opts;
     relaxed.damping_limit = opts.damping_limit / 8.0;
     relaxed.max_iterations = opts.max_iterations * 3;

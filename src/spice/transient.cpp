@@ -8,6 +8,8 @@
 #include "spice/matrix.hpp"
 #include "spice/stamp.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace lsl::spice {
 
@@ -98,10 +100,32 @@ SolveStatus step_newton(const Netlist& nl, const StampContext& ctx, const DcOpti
 
 }  // namespace
 
+namespace {
+
+/// Per-run metrics (instrument names: docs/OBSERVABILITY.md). The
+/// per-step Newton histogram is recorded inline in the step loop; the
+/// aggregates here close out one run_transient call.
+void record_transient_metrics(const TransientResult& result) {
+  auto& m = util::metrics();
+  static util::Counter& runs = m.counter("solver.transient.runs");
+  static util::Counter& failures = m.counter("solver.transient.failures");
+  static util::Counter& steps = m.counter("solver.transient.steps_accepted");
+  static util::Counter& halvings = m.counter("solver.transient.step_halvings");
+  static util::Counter& iterations = m.counter("solver.transient.newton_iterations");
+  runs.add(1);
+  if (!result.ok) failures.add(1);
+  steps.add(static_cast<std::int64_t>(result.steps_accepted));
+  halvings.add(static_cast<std::int64_t>(result.step_halvings));
+  iterations.add(result.newton_iterations);
+}
+
+}  // namespace
+
 TransientResult run_transient(const Netlist& nl,
                               const std::unordered_map<std::string, Waveform>& drives,
                               const TransientOptions& opts) {
   nl.reindex();
+  util::TraceSpan run_span("run_transient", "solver");
   const auto start = Clock::now();
   TransientResult result;
 
@@ -137,6 +161,9 @@ TransientResult run_transient(const Netlist& nl,
   const auto fail = [&](SolveStatus st, double t) {
     result.status = st;
     result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
+    record_transient_metrics(result);
+    run_span.arg("steps", static_cast<double>(result.steps_accepted));
+    run_span.arg("halvings", static_cast<double>(result.step_halvings));
     util::log_warn("run_transient: " + to_string(st) + " at t=" + std::to_string(t) +
                    " (worst node: " + result.diag.worst_node + ", " +
                    std::to_string(result.step_halvings) + " halvings)");
@@ -218,6 +245,12 @@ TransientResult run_transient(const Netlist& nl,
   const auto n_steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
   const double dt_floor = opts.dt / static_cast<double>(1 << std::max(opts.max_step_halvings, 0));
   std::vector<double> x_try;
+  // Per-step distributions. Newton-per-step costs nothing extra (the
+  // count is already in hand); per-step wall time needs clock reads and
+  // is gated with the rest of the detailed timing.
+  auto& newton_per_step = util::metrics().histogram("solver.transient.newton_per_step");
+  auto& step_seconds = util::metrics().histogram("solver.transient.step_seconds");
+  const bool detailed = util::Metrics::detailed_timing();
   for (std::size_t step = 1; step <= n_steps; ++step) {
     const double t_grid = static_cast<double>(step) * opts.dt;
     double t = static_cast<double>(step - 1) * opts.dt;
@@ -231,7 +264,12 @@ TransientResult run_transient(const Netlist& nl,
       ctx.dt = sub_dt;
       x_try = x;
       SolveDiagnostics step_diag;
+      const Clock::time_point step_t0 = detailed ? Clock::now() : Clock::time_point{};
       const SolveStatus st = step_newton(nl, ctx, opts.newton, x_try, step_diag);
+      if (detailed) {
+        step_seconds.observe(std::chrono::duration<double>(Clock::now() - step_t0).count());
+      }
+      newton_per_step.observe(static_cast<double>(step_diag.iterations));
       result.newton_iterations += step_diag.iterations;
       if (st == SolveStatus::kConverged) {
         x = std::move(x_try);
@@ -265,6 +303,9 @@ TransientResult run_transient(const Netlist& nl,
   result.ok = true;
   result.status = SolveStatus::kConverged;
   result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  record_transient_metrics(result);
+  run_span.arg("steps", static_cast<double>(result.steps_accepted));
+  run_span.arg("halvings", static_cast<double>(result.step_halvings));
   return result;
 }
 

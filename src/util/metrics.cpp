@@ -1,0 +1,176 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lsl::util {
+
+std::atomic<bool> Metrics::g_detailed_timing{false};
+
+double MetricHistogram::bucket_edge(int i) { return std::ldexp(1.0, kMinExp + i); }
+
+int MetricHistogram::bucket_index(double v) {
+  // NaN, negatives, zero, and anything at or below the first edge all
+  // collapse into bucket 0 (the "!(v > edge)" form catches NaN too).
+  if (!(v > bucket_edge(0))) return 0;
+  if (v > bucket_edge(kBucketCount - 1)) return kBucketCount - 1;
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  // v in (2^(e-1), 2^e) maps to the bucket whose upper edge is 2^e;
+  // an exact power of two (m == 0.5) sits ON the lower edge and
+  // belongs to the bucket below ("le" semantics).
+  int idx = e - kMinExp;
+  if (m == 0.5) --idx;
+  if (idx < 0) return 0;
+  if (idx >= kBucketCount) return kBucketCount - 1;
+  return idx;
+}
+
+void MetricHistogram::observe(double v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+MetricHistogram::Snapshot MetricHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBucketCount; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void MetricHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+Metrics& Metrics::instance() {
+  static Metrics* m = new Metrics();  // leaked: instrument refs may be cached in statics
+  return *m;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricHistogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<MetricHistogram>();
+  return *slot;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  } else {
+    out += "0";  // min/max of an empty histogram; count 0 disambiguates
+  }
+}
+
+}  // namespace
+
+std::string Metrics::snapshot_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    append_escaped(out, name);
+    out += "\":" + std::to_string(c->value());
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    append_escaped(out, name);
+    out += "\":";
+    append_number(out, g->value());
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const MetricHistogram::Snapshot s = h->snapshot();
+    out += "\n\"";
+    append_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(s.count) + ",\"sum\":";
+    append_number(out, s.sum);
+    out += ",\"min\":";
+    append_number(out, s.count > 0 ? s.min : 0.0);
+    out += ",\"max\":";
+    append_number(out, s.count > 0 ? s.max : 0.0);
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < MetricHistogram::kBucketCount; ++i) {
+      const std::uint64_t n = s.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // sparse: zero-count buckets omitted
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "{\"le\":";
+      append_number(out, MetricHistogram::bucket_edge(i));
+      out += ",\"count\":" + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+bool Metrics::write_json(const std::string& path) const {
+  const std::string body = snapshot_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,134 @@
+// Process-wide metrics registry: counters, gauges, and histograms with
+// fixed log-scale buckets, all lock-free on the record path (plain
+// relaxed atomics). Instruments are created on first use by name and
+// live for the life of the process — hot paths cache the returned
+// reference (e.g. in a function-local static) and pay one atomic RMW
+// per record. Metrics::reset() zeroes values but never invalidates
+// references, so cached handles stay usable across test cases.
+//
+// snapshot_json() exports everything as one nested JSON document; the
+// schema and the full instrument-name catalogue are documented in
+// docs/OBSERVABILITY.md.
+//
+// Metrics never influence simulation results — recording is
+// write-only from the instrumented code — so leaving them always-on
+// cannot perturb byte-identity of canonical campaign output. The one
+// exception is *detailed timing* (extra steady_clock reads inside the
+// Newton loop, e.g. stamp-vs-factorization attribution), which is
+// gated behind set_detailed_timing() because clock reads in the inner
+// loop cost real time even though they still cannot change results.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace lsl::util {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over 64 fixed power-of-two buckets. Bucket i counts
+/// observations v with bucket_edge(i-1) < v <= bucket_edge(i), where
+/// bucket_edge(i) = 2^(kMinExp + i). With kMinExp = -30 the edges run
+/// from ~9.3e-10 to ~8.6e9 — nanoseconds-to-hours when observing
+/// seconds, and 1-to-billions when observing counts. Values at or
+/// below the first edge (including 0 and negatives) land in bucket 0;
+/// values above the last edge clamp into the last bucket. Edges are
+/// compile-time constants, so two processes always agree on them.
+class MetricHistogram {
+ public:
+  static constexpr int kBucketCount = 64;
+  static constexpr int kMinExp = -30;
+
+  static double bucket_edge(int i);
+  static int bucket_index(double v);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kBucketCount> buckets{};
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// The registry. counter()/gauge()/histogram() take a mutex for the
+/// name lookup — cache the reference when recording from a hot loop.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  MetricHistogram& histogram(const std::string& name);
+
+  /// Nested JSON: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with instruments sorted by name and zero-count histogram buckets
+  /// omitted. See docs/OBSERVABILITY.md for the full schema.
+  std::string snapshot_json() const;
+
+  /// Writes snapshot_json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Zeroes every registered instrument. References previously
+  /// returned by counter()/gauge()/histogram() remain valid.
+  void reset();
+
+  /// Opt-in fine-grained timing (extra clock reads on solver inner
+  /// loops: stamp/factorization split, per-step wall time). Off by
+  /// default; the --metrics/--trace bench flags switch it on.
+  static bool detailed_timing() {
+    return g_detailed_timing.load(std::memory_order_relaxed);
+  }
+  static void set_detailed_timing(bool on) {
+    g_detailed_timing.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  Metrics() = default;
+  static std::atomic<bool> g_detailed_timing;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+/// Shorthand for Metrics::instance().
+inline Metrics& metrics() { return Metrics::instance(); }
+
+}  // namespace lsl::util

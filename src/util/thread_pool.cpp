@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/trace.hpp"
+
 namespace lsl::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   queues_.resize(std::max<std::size_t>(num_threads, 1));
+  steals_.resize(queues_.size(), 0);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -20,6 +23,18 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::vector<std::size_t> ThreadPool::steal_counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return steals_;
+}
+
+std::size_t ThreadPool::total_steals() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const std::size_t s : steals_) n += s;
+  return n;
 }
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
@@ -100,10 +115,14 @@ bool ThreadPool::pop_locked(std::size_t self, Task& out) {
   out = std::move(queues_[victim].back());
   queues_[victim].pop_back();
   --queued_;
+  ++steals_[self];
   return true;
 }
 
 void ThreadPool::worker_main(std::size_t self) {
+  if (Tracer::instance().enabled()) {
+    Tracer::set_thread_name("pool-worker-" + std::to_string(self));
+  }
   for (;;) {
     Task task;
     {

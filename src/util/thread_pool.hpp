@@ -53,6 +53,13 @@ class ThreadPool {
   /// 0 -> hardware_concurrency (at least 1), anything else unchanged.
   static std::size_t resolve_threads(std::size_t requested);
 
+  /// Tasks each worker ran that were submitted to a DIFFERENT worker's
+  /// deque — the work-stealing traffic. Indexed like worker_slots();
+  /// all zeros in inline mode. Monotone over the pool's lifetime.
+  std::vector<std::size_t> steal_counts() const;
+  /// Sum of steal_counts().
+  std::size_t total_steals() const;
+
   /// Enqueues a task. The future carries any exception the task throws.
   /// In inline mode the task has already run when submit returns.
   std::future<void> submit(std::function<void()> task);
@@ -77,8 +84,9 @@ class ThreadPool {
   bool pop_locked(std::size_t self, Task& out);
 
   std::vector<std::deque<Task>> queues_;  // one per worker
+  std::vector<std::size_t> steals_;       // per-worker steal counters (guarded by mu_)
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::size_t next_queue_ = 0;  // round-robin submission cursor
   std::size_t queued_ = 0;      // tasks sitting in deques

@@ -1,0 +1,261 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace lsl::util {
+
+namespace trace_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Session state shared by all threads. Generation bumps on every
+/// start(); a thread ring lazily re-arms itself when it notices its
+/// generation is stale, so start() never has to touch other threads'
+/// buffers while they might be recording.
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<std::size_t> g_capacity{1u << 16};
+std::atomic<std::int64_t> g_t0_ns{0};
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread event ring. Owned jointly by the registry (for flush
+/// after the thread exits) and the thread itself (so the pointer never
+/// dangles if the registry were ever cleared).
+struct ThreadBuffer {
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;       // next write slot
+  std::size_t count = 0;      // valid events (<= ring.size())
+  std::uint64_t dropped = 0;  // overwritten events this session
+  std::uint64_t generation = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: thread buffers must outlive exit order
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tl;
+  if (!tl) {
+    tl = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    tl->tid = static_cast<std::uint32_t>(r.buffers.size());
+    r.buffers.push_back(tl);
+  }
+  return *tl;
+}
+
+/// Re-arms a stale ring for the current session (allocates once per
+/// thread per session; never on the per-span path afterwards).
+void rearm(ThreadBuffer& b) {
+  b.ring.assign(g_capacity.load(std::memory_order_relaxed), TraceEvent{});
+  b.next = 0;
+  b.count = 0;
+  b.dropped = 0;
+  b.generation = g_generation.load(std::memory_order_relaxed);
+}
+
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+void append_json_arg(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::start(std::size_t events_per_thread) {
+#if LSL_TRACE_ENABLED
+  g_capacity.store(std::max<std::size_t>(events_per_thread, 1), std::memory_order_relaxed);
+  g_t0_ns.store(now_ns(), std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  trace_detail::g_enabled.store(true, std::memory_order_release);
+#else
+  (void)events_per_thread;
+  std::fprintf(stderr, "[warn ] tracer: compiled out (LSL_TRACE_ENABLED=0); start() ignored\n");
+#endif
+}
+
+void Tracer::stop() { trace_detail::g_enabled.store(false, std::memory_order_release); }
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& b : r.buffers) {
+    if (b->generation != gen || b->count == 0) continue;
+    // Ring order: oldest surviving event first.
+    const std::size_t n = b->ring.size();
+    const std::size_t first = b->count < n ? 0 : b->next;
+    for (std::size_t k = 0; k < b->count; ++k) out.push_back(b->ring[(first + k) % n]);
+    b->next = 0;
+    b->count = 0;
+    b->dropped = 0;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;  // enclosing spans first
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::uint64_t n = 0;
+  for (const auto& b : r.buffers) {
+    if (b->generation == gen) n += b->dropped;
+  }
+  return n;
+}
+
+std::string Tracer::json() {
+  const std::vector<TraceEvent> events = drain();
+
+  // Thread-name metadata for every thread that ever set one.
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& b : r.buffers) {
+      if (!b->name.empty()) names.emplace_back(b->tid, b->name);
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) + ",\"name\":\"";
+    append_json_escaped(out, e.name != nullptr ? e.name : "");
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.cat != nullptr && e.cat[0] != '\0' ? e.cat : "default");
+    out += "\",\"ts\":";
+    append_json_double(out, e.ts_us);
+    out += ",\"dur\":";
+    append_json_double(out, e.dur_us);
+    if (e.arg1_key != nullptr) {
+      out += ",\"args\":{\"";
+      append_json_escaped(out, e.arg1_key);
+      out += "\":";
+      append_json_arg(out, e.arg1);
+      if (e.arg2_key != nullptr) {
+        out += ",\"";
+        append_json_escaped(out, e.arg2_key);
+        out += "\":";
+        append_json_arg(out, e.arg2);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) {
+  const std::string body = json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadBuffer& b = local_buffer();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);  // name is read under the registry lock in json()
+  b.name = name;
+}
+
+void TraceSpan::begin(const char* name, const char* cat) {
+  active_ = true;
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = now_ns();
+}
+
+void TraceSpan::end() {
+  const std::int64_t end_ns = now_ns();
+  ThreadBuffer& b = local_buffer();
+  if (b.generation != g_generation.load(std::memory_order_relaxed)) rearm(b);
+  TraceEvent& e = b.ring[b.next];
+  e.name = name_;
+  e.cat = cat_;
+  const std::int64_t t0 = g_t0_ns.load(std::memory_order_relaxed);
+  e.ts_us = static_cast<double>(start_ns_ - t0) * 1e-3;
+  e.dur_us = static_cast<double>(end_ns - start_ns_) * 1e-3;
+  e.tid = b.tid;
+  e.arg1_key = arg1_key_;
+  e.arg1 = arg1_;
+  e.arg2_key = arg2_key_;
+  e.arg2 = arg2_;
+  b.next = (b.next + 1) % b.ring.size();
+  if (b.count < b.ring.size()) {
+    ++b.count;
+  } else {
+    ++b.dropped;
+  }
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,159 @@
+// Low-overhead scoped-span tracer with Chrome trace_event JSON export.
+// Hot paths (one span per DC solve, per campaign fault, per MC trial)
+// open a TraceSpan whose constructor is a single relaxed atomic load
+// when tracing is off — no locks, no allocation, no clock read. When
+// tracing is on, each thread appends completed spans to its own
+// fixed-capacity ring buffer (oldest events overwritten, drop count
+// kept), and the buffers are merged and time-sorted only at flush.
+//
+// Output is the Chrome trace_event format ("X" complete events plus
+// "M" thread_name metadata), loadable in chrome://tracing and Perfetto
+// (ui.perfetto.dev). docs/OBSERVABILITY.md walks through a capture.
+//
+// Concurrency contract: spans may begin/end on any thread (a span must
+// end on the thread it began on). stop()/drain()/write_json() must be
+// called while no other thread is inside a span — in practice after
+// worker pools have joined, which is how the benches use it. Tracing
+// never feeds back into simulation results, so enabling it cannot
+// perturb canonical campaign output.
+//
+// Compile-time kill switch: build with LSL_TRACE_ENABLED=0 (CMake
+// -DLSL_TRACE=OFF) and every span compiles to an empty inline body;
+// Tracer::start() then refuses to enable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef LSL_TRACE_ENABLED
+#define LSL_TRACE_ENABLED 1
+#endif
+
+namespace lsl::util {
+
+namespace trace_detail {
+/// Runtime flag, read on every span open with a relaxed load.
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_detail
+
+/// One completed span. `name`/`cat` and arg keys must be string
+/// literals (or otherwise outlive the tracer) — events store the
+/// pointers, never copies, so the record fast path allocates nothing.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  double ts_us = 0.0;   // span start, microseconds since Tracer::start()
+  double dur_us = 0.0;  // span duration, microseconds
+  std::uint32_t tid = 0;
+  const char* arg1_key = nullptr;
+  double arg1 = 0.0;
+  const char* arg2_key = nullptr;
+  double arg2 = 0.0;
+};
+
+/// Process-wide tracer. All methods are safe to call when tracing has
+/// never been started; start()/stop() toggle recording globally.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enables recording. Each thread that records gets its own ring of
+  /// `events_per_thread` events; older events are overwritten (and
+  /// counted in dropped()) once a ring is full. Clears any events left
+  /// over from a previous session. No-op when compiled out.
+  void start(std::size_t events_per_thread = 1u << 16);
+
+  /// Disables recording. Already-captured events stay buffered until
+  /// drain()/write_json().
+  void stop();
+
+  bool enabled() const { return trace_detail::g_enabled.load(std::memory_order_relaxed); }
+
+  /// Merges every thread's buffer into one list sorted by start time
+  /// (ties: longer span first, then tid) and clears the buffers.
+  std::vector<TraceEvent> drain();
+
+  /// Events overwritten because a thread ring filled up (current
+  /// session, not yet drained).
+  std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON for the current buffers (drains them).
+  std::string json();
+
+  /// Writes json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path);
+
+  /// Names the calling thread in the exported trace ("M" metadata
+  /// event). Safe to call whether or not tracing is enabled.
+  static void set_thread_name(const std::string& name);
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII scoped span. Construction when tracing is disabled is a single
+/// relaxed atomic load; recording happens at destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "") {
+#if LSL_TRACE_ENABLED
+    if (trace_detail::g_enabled.load(std::memory_order_relaxed)) begin(name, cat);
+#else
+    (void)name;
+    (void)cat;
+#endif
+  }
+  ~TraceSpan() {
+#if LSL_TRACE_ENABLED
+    if (active_) end();
+#endif
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now instead of at scope exit (idempotent) — for the
+  /// occasional phase whose lifetime is shorter than its variables'.
+  void close() {
+#if LSL_TRACE_ENABLED
+    if (active_) {
+      end();
+      active_ = false;
+    }
+#endif
+  }
+
+  /// Attaches a numeric argument (at most two per span; extras are
+  /// dropped). `key` must be a string literal. No-op when inactive.
+  void arg(const char* key, double value) {
+#if LSL_TRACE_ENABLED
+    if (!active_) return;
+    if (arg1_key_ == nullptr) {
+      arg1_key_ = key;
+      arg1_ = value;
+    } else if (arg2_key_ == nullptr) {
+      arg2_key_ = key;
+      arg2_ = value;
+    }
+#else
+    (void)key;
+    (void)value;
+#endif
+  }
+
+ private:
+  void begin(const char* name, const char* cat);
+  void end();
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  const char* arg1_key_ = nullptr;
+  double arg1_ = 0.0;
+  const char* arg2_key_ = nullptr;
+  double arg2_ = 0.0;
+};
+
+}  // namespace lsl::util

@@ -1,0 +1,131 @@
+// Metrics registry: log-scale histogram bucket edges, snapshot stats,
+// reset-keeps-references, JSON shape, threaded counter exactness.
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using lsl::util::Counter;
+using lsl::util::MetricHistogram;
+using lsl::util::Metrics;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Metrics::instance().reset(); }
+  void TearDown() override {
+    Metrics::instance().reset();
+    Metrics::set_detailed_timing(false);
+  }
+};
+
+TEST_F(MetricsTest, BucketEdgesArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(MetricHistogram::bucket_edge(0), std::ldexp(1.0, MetricHistogram::kMinExp));
+  EXPECT_DOUBLE_EQ(MetricHistogram::bucket_edge(30), 1.0);  // 2^(-30+30)
+  EXPECT_DOUBLE_EQ(MetricHistogram::bucket_edge(31), 2.0);
+  // Edges span sub-nanosecond to hours when observing seconds.
+  EXPECT_LT(MetricHistogram::bucket_edge(0), 1e-9);
+  EXPECT_GT(MetricHistogram::bucket_edge(MetricHistogram::kBucketCount - 1), 8e9);
+}
+
+TEST_F(MetricsTest, BucketIndexUsesLessOrEqualEdges) {
+  // A value exactly on an edge belongs to that bucket ("le" semantics).
+  for (int i = 0; i < MetricHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(MetricHistogram::bucket_index(MetricHistogram::bucket_edge(i)), i) << "edge " << i;
+  }
+  // Just above an edge spills into the next bucket.
+  for (int i = 0; i + 1 < MetricHistogram::kBucketCount; ++i) {
+    const double above = std::nextafter(MetricHistogram::bucket_edge(i),
+                                        std::numeric_limits<double>::infinity());
+    EXPECT_EQ(MetricHistogram::bucket_index(above), i + 1) << "just above edge " << i;
+  }
+  // Degenerate inputs land in the edge buckets instead of being dropped.
+  EXPECT_EQ(MetricHistogram::bucket_index(0.0), 0);
+  EXPECT_EQ(MetricHistogram::bucket_index(-3.0), 0);
+  EXPECT_EQ(MetricHistogram::bucket_index(1e300), MetricHistogram::kBucketCount - 1);
+}
+
+TEST_F(MetricsTest, HistogramSnapshotTracksCountSumMinMax) {
+  auto& h = Metrics::instance().histogram("test.h");
+  h.observe(1.0);
+  h.observe(4.0);
+  h.observe(0.25);
+  const MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.25);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  std::uint64_t total = 0;
+  for (const auto b : s.buckets) total += b;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(s.buckets[MetricHistogram::bucket_index(1.0)], 1u);
+  EXPECT_EQ(s.buckets[MetricHistogram::bucket_index(4.0)], 1u);
+  EXPECT_EQ(s.buckets[MetricHistogram::bucket_index(0.25)], 1u);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = Metrics::instance().counter("test.reset");
+  c.add(7);
+  auto& h = Metrics::instance().histogram("test.reset_h");
+  h.observe(2.0);
+  Metrics::instance().reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  // Same instrument object after reset: the cached reference still works
+  // and the registry hands back the same address.
+  c.add(1);
+  EXPECT_EQ(Metrics::instance().counter("test.reset").value(), 1);
+  EXPECT_EQ(&Metrics::instance().counter("test.reset"), &c);
+  EXPECT_EQ(&Metrics::instance().histogram("test.reset_h"), &h);
+}
+
+TEST_F(MetricsTest, SnapshotJsonHasAllThreeSections) {
+  Metrics::instance().counter("test.c").add(3);
+  Metrics::instance().gauge("test.g").set(1.5);
+  Metrics::instance().histogram("test.h").observe(2.0);
+  const std::string json = Metrics::instance().snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.c\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, CountersAreExactUnderConcurrency) {
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  Counter& c = Metrics::instance().counter("test.concurrent");
+  auto& h = Metrics::instance().histogram("test.concurrent_h");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        c.add(1);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+  const MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(s.buckets[MetricHistogram::bucket_index(1.0)], s.count);
+}
+
+TEST_F(MetricsTest, DetailedTimingTogglesGlobally) {
+  EXPECT_FALSE(Metrics::detailed_timing());
+  Metrics::set_detailed_timing(true);
+  EXPECT_TRUE(Metrics::detailed_timing());
+  Metrics::set_detailed_timing(false);
+  EXPECT_FALSE(Metrics::detailed_timing());
+}
+
+}  // namespace

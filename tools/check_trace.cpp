@@ -1,0 +1,435 @@
+// Schema checker for the observability artifacts:
+//
+//   check_trace <trace.json> [metrics.json]
+//
+// Validates that <trace.json> is well-formed JSON in the Chrome
+// trace_event format ("traceEvents" array of event objects; every
+// event carries name/ph/pid/tid, "X" events carry numeric ts/dur >= 0,
+// args when present are objects) and prints a one-line summary. With a
+// second argument, also validates the util::Metrics snapshot schema
+// (counters/gauges/histograms objects; each histogram has count, sum,
+// min, max and a buckets array of {le, count} pairs) and checks that
+// the instruments the campaign benches promise — the Newton-iteration
+// and steal-count histograms — are present.
+//
+// Deliberately self-contained (util::JsonObject is flat-only by
+// design), with a minimal recursive-descent JSON parser. Exit 0 on a
+// valid file, 1 on any violation — the ctest job `trace_validate`
+// drives it over a fresh `table1_fault_coverage --trace` capture.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON value + recursive-descent parser --------------------
+
+struct JsonValue;
+using JsonValuePtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValuePtr> arr;
+  std::vector<std::pair<std::string, JsonValuePtr>> obj;  // insertion order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValuePtr parse() {
+    JsonValuePtr v = value();
+    if (!v) return nullptr;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing garbage after top-level value");
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  JsonValuePtr fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " (offset " + std::to_string(pos_) + ")";
+    }
+    return nullptr;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValuePtr value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') {
+      auto v = std::make_unique<JsonValue>();
+      v->kind = JsonValue::Kind::kBool;
+      v->b = (c == 't');
+      if (!literal(c == 't' ? "true" : "false")) return fail("bad literal");
+      return v;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      return std::make_unique<JsonValue>();
+    }
+    return number();
+  }
+
+  JsonValuePtr number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    bool dot = false;
+    bool exp = false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+      } else if (c == '.' && !dot && !exp) {
+        dot = true;
+      } else if ((c == 'e' || c == 'E') && digits && !exp) {
+        exp = true;
+        if (pos_ + 1 < s_.size() && (s_[pos_ + 1] == '-' || s_[pos_ + 1] == '+')) ++pos_;
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    if (!digits) return fail("malformed number");
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    v->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  JsonValuePtr string_value() {
+    std::string out;
+    if (!parse_string(out)) return nullptr;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    v->str = std::move(out);
+    return v;
+  }
+
+  bool parse_string(std::string& out) {
+    if (s_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) break;
+        const char esc = s_[pos_ + 1];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 5 >= s_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            out += '?';  // code point identity is irrelevant to schema checks
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  JsonValuePtr array() {
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      JsonValuePtr elem = value();
+      if (!elem) return nullptr;
+      v->arr.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValuePtr object() {
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return nullptr;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValuePtr val = value();
+      if (!val) return nullptr;
+      v->obj.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool read_file(const char* path, std::string& out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+int g_violations = 0;
+
+void violation(const std::string& what) {
+  std::fprintf(stderr, "SCHEMA VIOLATION: %s\n", what.c_str());
+  ++g_violations;
+}
+
+bool is_num(const JsonValue* v) { return v != nullptr && v->kind == JsonValue::Kind::kNumber; }
+bool is_str(const JsonValue* v) { return v != nullptr && v->kind == JsonValue::Kind::kString; }
+
+// --- trace_event schema -----------------------------------------------
+
+void check_trace_events(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    violation("trace root is not an object");
+    return;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    violation("missing \"traceEvents\" array");
+    return;
+  }
+
+  std::size_t complete = 0;
+  std::size_t metadata = 0;
+  std::map<double, std::size_t> events_per_tid;
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const JsonValue& e = *events->arr[i];
+    const std::string at = "event " + std::to_string(i);
+    if (e.kind != JsonValue::Kind::kObject) {
+      violation(at + " is not an object");
+      continue;
+    }
+    const JsonValue* ph = e.find("ph");
+    if (!is_str(ph)) {
+      violation(at + ": missing string \"ph\"");
+      continue;
+    }
+    if (!is_str(e.find("name"))) violation(at + ": missing string \"name\"");
+    if (!is_num(e.find("pid"))) violation(at + ": missing numeric \"pid\"");
+    if (!is_num(e.find("tid"))) violation(at + ": missing numeric \"tid\"");
+    const JsonValue* args = e.find("args");
+    if (args != nullptr && args->kind != JsonValue::Kind::kObject) {
+      violation(at + ": \"args\" is not an object");
+    }
+    if (ph->str == "X") {
+      ++complete;
+      const JsonValue* ts = e.find("ts");
+      const JsonValue* dur = e.find("dur");
+      if (!is_num(ts)) violation(at + ": X event missing numeric \"ts\"");
+      if (!is_num(dur)) {
+        violation(at + ": X event missing numeric \"dur\"");
+      } else if (dur->num < 0.0) {
+        violation(at + ": negative \"dur\"");
+      }
+      if (is_num(ts) && is_num(e.find("tid"))) ++events_per_tid[e.find("tid")->num];
+    } else if (ph->str == "M") {
+      ++metadata;
+    }
+    // Other phases (B/E/i/C/...) are legal trace_event; the exporter
+    // only emits X and M, but don't fail files that carry more.
+  }
+  if (complete == 0) violation("no \"X\" (complete) events in trace");
+  std::printf("trace: %zu events (%zu spans, %zu metadata) across %zu thread(s)\n",
+              events->arr.size(), complete, metadata, events_per_tid.size());
+}
+
+// --- metrics snapshot schema ------------------------------------------
+
+void check_histogram(const std::string& name, const JsonValue& h) {
+  if (h.kind != JsonValue::Kind::kObject) {
+    violation("histogram \"" + name + "\" is not an object");
+    return;
+  }
+  for (const char* field : {"count", "sum", "min", "max"}) {
+    if (!is_num(h.find(field))) {
+      violation("histogram \"" + name + "\" missing numeric \"" + field + "\"");
+    }
+  }
+  const JsonValue* buckets = h.find("buckets");
+  if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray) {
+    violation("histogram \"" + name + "\" missing \"buckets\" array");
+    return;
+  }
+  double prev_le = -1.0;
+  double bucket_total = 0.0;
+  for (const auto& b : buckets->arr) {
+    const JsonValue* le = b->find("le");
+    const JsonValue* count = b->find("count");
+    if (b->kind != JsonValue::Kind::kObject || !is_num(le) || !is_num(count)) {
+      violation("histogram \"" + name + "\": bucket is not {le, count}");
+      return;
+    }
+    if (le->num <= prev_le) violation("histogram \"" + name + "\": bucket edges not increasing");
+    prev_le = le->num;
+    bucket_total += count->num;
+  }
+  const JsonValue* count = h.find("count");
+  if (is_num(count) && bucket_total != count->num) {
+    violation("histogram \"" + name + "\": bucket counts do not sum to count");
+  }
+}
+
+void check_metrics(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    violation("metrics root is not an object");
+    return;
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* s = root.find(section);
+    if (s == nullptr || s->kind != JsonValue::Kind::kObject) {
+      violation(std::string("missing \"") + section + "\" object");
+      continue;
+    }
+    for (const auto& [name, v] : s->obj) {
+      if (std::strcmp(section, "histograms") == 0) {
+        check_histogram(name, *v);
+      } else if (!is_num(v.get())) {
+        violation(std::string(section) + " entry \"" + name + "\" is not a number");
+      }
+    }
+  }
+  // The instruments the campaign benches advertise (docs/OBSERVABILITY.md).
+  const JsonValue* hists = root.find("histograms");
+  if (hists != nullptr && hists->kind == JsonValue::Kind::kObject) {
+    for (const char* required : {"solver.dc.newton_per_solve", "campaign.steals_per_worker"}) {
+      if (hists->find(required) == nullptr) {
+        violation(std::string("expected histogram \"") + required + "\" not in snapshot");
+      }
+    }
+    std::printf("metrics: %zu histograms, schema ok\n", hists->obj.size());
+  }
+}
+
+int check_file(const char* path, bool metrics) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
+  }
+  Parser parser(text);
+  const JsonValuePtr root = parser.parse();
+  if (!root) {
+    std::fprintf(stderr, "error: %s: invalid JSON: %s\n", path, parser.error().c_str());
+    return 1;
+  }
+  if (metrics) {
+    check_metrics(*root);
+  } else {
+    check_trace_events(*root);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: check_trace <trace.json> [metrics.json]\n");
+    return 2;
+  }
+  int rc = check_file(argv[1], /*metrics=*/false);
+  if (argc == 3 && rc == 0) rc = check_file(argv[2], /*metrics=*/true);
+  if (rc != 0) return rc;
+  if (g_violations > 0) {
+    std::fprintf(stderr, "%d schema violation(s)\n", g_violations);
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
