@@ -1,14 +1,31 @@
-// google-benchmark microbenchmarks of the simulation engines backing the
-// reproduction: MNA DC solves of the full analog frontend, transient
-// stepping, gate-level scan simulation, and the behavioral acquisition
-// loop. These bound the fault-campaign wall-clock.
+// Microbenchmarks of the simulation engines backing the reproduction.
+//
+// Two modes:
+//  - Default: google-benchmark microbenchmarks (MNA DC solve, transient
+//    stepping, gate-level scan, behavioral acquisition, BIST) — these
+//    bound the fault-campaign wall-clock.
+//  - `--json [path]`: a self-timed solver-engine report written as JSON
+//    (default BENCH_solver.json): throughput and workspace cache
+//    statistics for the DC-sweep, transient, and fault-campaign
+//    workloads on the sparse engine. With `--compare-dense`, each
+//    workload is re-run with every linear solve forced onto the dense
+//    path (spice::solver_tuning().force_dense) and the report gains
+//    dense timings plus the sparse-vs-dense speedup.
 #include <benchmark/benchmark.h>
 
-#include "cells/link_frontend.hpp"
-#include "dft/digital_top.hpp"
-#include "spice/transient.hpp"
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "behav/synchronizer.hpp"
+#include "cells/link_frontend.hpp"
+#include "dft/campaign.hpp"
+#include "dft/digital_top.hpp"
 #include "link/link.hpp"
+#include "spice/transient.hpp"
+#include "spice/workspace.hpp"
 
 namespace {
 
@@ -81,4 +98,189 @@ void BM_LinkBist(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkBist);
 
+// ---------------------------------------------------------------------------
+// Solver-engine A/B report (--json / --compare-dense).
+
+using Clock = std::chrono::steady_clock;
+
+struct EngineRun {
+  double seconds = 0.0;
+  std::uint64_t linear_solves = 0;  // Newton linear systems solved
+  lsl::spice::SolverWorkspace::Stats stats;  // workspace deltas
+};
+
+/// Times `work` (after one untimed warm-up) and captures the workspace
+/// stat deltas for the timed repetitions.
+template <typename Fn>
+EngineRun timed_run(int reps, Fn&& work) {
+  auto& ws = lsl::spice::SolverWorkspace::tls();
+  work();  // warm-up: symbolic analysis, linear base, OS caches
+  const auto before = ws.stats();
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) work();
+  EngineRun run;
+  run.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  const auto after = ws.stats();
+  auto delta = [](std::uint64_t a, std::uint64_t b) { return a - b; };
+  run.stats.symbolic_builds = delta(after.symbolic_builds, before.symbolic_builds);
+  run.stats.symbolic_reuse = delta(after.symbolic_reuse, before.symbolic_reuse);
+  run.stats.linear_stamp_builds = delta(after.linear_stamp_builds, before.linear_stamp_builds);
+  run.stats.linear_stamp_reuse = delta(after.linear_stamp_reuse, before.linear_stamp_reuse);
+  run.stats.sparse_solves = delta(after.sparse_solves, before.sparse_solves);
+  run.stats.dense_solves = delta(after.dense_solves, before.dense_solves);
+  run.stats.dense_fallbacks = delta(after.dense_fallbacks, before.dense_fallbacks);
+  run.stats.refinement_steps = delta(after.refinement_steps, before.refinement_steps);
+  run.linear_solves =
+      run.stats.sparse_solves + run.stats.dense_solves + run.stats.dense_fallbacks;
+  return run;
+}
+
+void run_dc_sweep_workload() {
+  static lsl::cells::LinkFrontend fe;
+  std::vector<double> points;
+  for (int i = 0; i <= 40; ++i) points.push_back(1.2 * i / 40.0);
+  const auto results =
+      lsl::spice::dc_sweep(fe.netlist(), fe.src_tap_main_p(), points, lsl::spice::DcOptions{});
+  benchmark::DoNotOptimize(results.size());
+}
+
+void run_transient_workload() {
+  static lsl::cells::LinkFrontend fe;
+  lsl::spice::TransientOptions opts;
+  opts.t_stop = 20e-9;
+  opts.dt = 0.2e-9;
+  opts.probes = {"line_p_rx"};
+  const auto wave = lsl::spice::square_wave(0.0, 1.2, 10e-9);
+  const auto r = lsl::spice::run_transient(fe.netlist(), {{fe.src_tap_main_p(), wave}}, opts);
+  benchmark::DoNotOptimize(r.ok);
+}
+
+void run_campaign_workload() {
+  static lsl::cells::LinkFrontend golden;
+  lsl::dft::CampaignOptions opts;
+  opts.prefixes = {"tx."};
+  opts.with_bist = false;
+  opts.with_scan_toggle = false;
+  opts.max_faults = 8;
+  opts.num_threads = 1;  // serial: keeps the timing comparable and on this thread
+  const auto report = lsl::dft::run_campaign(golden, opts);
+  benchmark::DoNotOptimize(report.outcomes.size());
+}
+
+struct Workload {
+  const char* name;
+  int reps;
+  void (*fn)();
+};
+
+void append_run_json(std::string& out, const char* key, const EngineRun& run) {
+  char buf[512];
+  const double sps = run.seconds > 0.0 ? static_cast<double>(run.linear_solves) / run.seconds : 0.0;
+  const double reuse_den =
+      static_cast<double>(run.stats.symbolic_builds + run.stats.symbolic_reuse);
+  const double reuse_rate = reuse_den > 0.0 ? run.stats.symbolic_reuse / reuse_den : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"seconds\":%.6f,\"linear_solves\":%llu,\"solves_per_sec\":%.1f,"
+                "\"symbolic_builds\":%llu,\"symbolic_reuse\":%llu,\"symbolic_reuse_rate\":%.4f,"
+                "\"linear_stamp_reuse\":%llu,\"sparse_solves\":%llu,\"dense_solves\":%llu,"
+                "\"dense_fallbacks\":%llu,\"refinement_steps\":%llu}",
+                key, run.seconds, static_cast<unsigned long long>(run.linear_solves), sps,
+                static_cast<unsigned long long>(run.stats.symbolic_builds),
+                static_cast<unsigned long long>(run.stats.symbolic_reuse), reuse_rate,
+                static_cast<unsigned long long>(run.stats.linear_stamp_reuse),
+                static_cast<unsigned long long>(run.stats.sparse_solves),
+                static_cast<unsigned long long>(run.stats.dense_solves),
+                static_cast<unsigned long long>(run.stats.dense_fallbacks),
+                static_cast<unsigned long long>(run.stats.refinement_steps));
+  out += buf;
+}
+
+int run_solver_report(const std::string& json_path, bool compare_dense) {
+  const Workload workloads[] = {
+      {"dc_sweep", 5, run_dc_sweep_workload},
+      {"transient", 3, run_transient_workload},
+      {"fault_campaign", 2, run_campaign_workload},
+  };
+
+  auto& tuning = lsl::spice::solver_tuning();
+  const lsl::spice::SolverTuning saved = tuning;
+
+  std::string json = "{\n";
+  bool first = true;
+  bool all_speedups_ok = true;
+  for (const Workload& w : workloads) {
+    tuning = saved;
+    tuning.force_dense = false;
+    const EngineRun sparse = timed_run(w.reps, w.fn);
+
+    EngineRun dense;
+    if (compare_dense) {
+      tuning.force_dense = true;
+      dense = timed_run(w.reps, w.fn);
+      tuning.force_dense = false;
+    }
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "  \"" + std::string(w.name) + "\":{";
+    append_run_json(json, "sparse", sparse);
+    if (compare_dense) {
+      json += ",";
+      append_run_json(json, "dense", dense);
+      const double speedup = sparse.seconds > 0.0 ? dense.seconds / sparse.seconds : 0.0;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"speedup\":%.2f", speedup);
+      json += buf;
+      std::printf("%-16s sparse %8.4fs  dense %8.4fs  speedup %5.2fx\n", w.name, sparse.seconds,
+                  dense.seconds, speedup);
+      if (speedup < 2.0) all_speedups_ok = false;
+    } else {
+      std::printf("%-16s sparse %8.4fs  (%llu linear solves)\n", w.name, sparse.seconds,
+                  static_cast<unsigned long long>(sparse.linear_solves));
+    }
+    json += "}";
+  }
+  json += "\n}\n";
+  tuning = saved;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  if (compare_dense && !all_speedups_ok) {
+    std::fprintf(stderr, "WARNING: a workload fell short of 2x over dense\n");
+  }
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool json_mode = false;
+  bool compare_dense = false;
+  std::string json_path = "BENCH_solver.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_mode = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (arg == "--compare-dense") {
+      json_mode = true;
+      compare_dense = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json_mode) return run_solver_report(json_path, compare_dense);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,18 +20,22 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "[sanitize_job] configure failed (${SANITIZER})")
 endif()
 
-message(STATUS "[sanitize_job] building test_util + test_dft + test_fault")
+message(STATUS "[sanitize_job] building test_util + test_spice + test_dft + test_fault")
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BIN_DIR} --parallel
-          --target test_util test_dft test_fault
+          --target test_util test_spice test_dft test_fault
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "[sanitize_job] build failed (${SANITIZER})")
 endif()
 
-message(STATUS "[sanitize_job] running ThreadPool/Campaign/McTrials tests under ${SANITIZER}")
+# SparseEngine covers the workspace/sparse-LU solve path (including the
+# thread-local workspaces campaign workers share). NewtonAllocation is
+# deliberately excluded: its global operator-new counters are
+# meaningless under sanitizer allocators.
+message(STATUS "[sanitize_job] running ThreadPool/Campaign/McTrials/SparseEngine tests under ${SANITIZER}")
 execute_process(
-  COMMAND ctest --test-dir ${BIN_DIR} -R "ThreadPool|Campaign|McTrials"
+  COMMAND ctest --test-dir ${BIN_DIR} -R "ThreadPool|Campaign|McTrials|SparseEngine"
           --output-on-failure
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

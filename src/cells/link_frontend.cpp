@@ -130,7 +130,9 @@ LinkFrontend::LinkFrontend(const LinkFrontendSpec& spec) : spec_(spec) {
 
 void LinkFrontend::set_source(const std::string& name, double volts) {
   const auto di = nl_.find_device(name);
-  std::get<VSource>(nl_.device(*di).impl).volts = volts;
+  // Value-only edit: keeps the solver workspace's per-topology caches
+  // (sparsity pattern, symbolic LU) warm across drive toggles.
+  nl_.set_vsource_volts(*di, volts);
 }
 
 void LinkFrontend::set_data(bool d, bool d_prev) {

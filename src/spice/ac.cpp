@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "spice/stamp.hpp"
+#include "spice/workspace.hpp"
 #include "util/log.hpp"
 
 namespace lsl::spice {
@@ -12,8 +13,10 @@ namespace {
 
 using Complex = std::complex<double>;
 
-/// Minimal dense complex LU solve (mirrors matrix.cpp for doubles).
-bool lu_solve_complex(std::vector<Complex> a, std::vector<Complex> b, std::size_t n,
+/// Minimal dense complex LU solve, in place (mirrors lu_solve_inplace
+/// for doubles): factors `a`, permutes `b` in tandem, writes the
+/// solution into `x`. Allocation-free when `x` is pre-sized.
+bool lu_solve_complex(std::vector<Complex>& a, std::vector<Complex>& b, std::size_t n,
                       std::vector<Complex>& x) {
   auto at = [&](std::size_t r, std::size_t c) -> Complex& { return a[r * n + c]; };
   for (std::size_t k = 0; k < n; ++k) {
@@ -81,6 +84,12 @@ std::vector<double> log_frequencies(double f_lo, double f_hi, std::size_t points
 AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
                 const std::vector<double>& freqs, const std::vector<std::string>& probes,
                 const AcOptions& opts) {
+  return run_ac(nl, ac_source_name, freqs, probes, opts, SolverWorkspace::tls());
+}
+
+AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
+                const std::vector<double>& freqs, const std::vector<std::string>& probes,
+                const AcOptions& opts, SolverWorkspace& ws) {
   nl.reindex();
   AcResult result;
 
@@ -91,7 +100,7 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
   }
 
   // Operating point.
-  const DcResult op = solve_dc(nl, opts.op);
+  const DcResult op = solve_dc(nl, opts.op, ws);
   result.op_diag = op.diag;
   if (!op.converged) {
     result.status = op.status;
@@ -115,10 +124,17 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
   const std::size_t n = nl.unknown_count();
   auto v_of = [&](NodeId node) { return node_voltage(nl, op.x, node); };
 
+  // Workspace-owned complex buffers, reused across frequency points
+  // (the per-point cost used to include an n² allocation + zero fill of
+  // a fresh matrix; now it is just the zero fill).
+  std::vector<Complex>& g = ws.ac_matrix();
+  std::vector<Complex>& b = ws.ac_rhs();
+  std::vector<Complex>& x = ws.ac_solution();
+
   for (const double f : freqs) {
     const double w = 2.0 * M_PI * f;
-    std::vector<Complex> g(n * n, Complex{});
-    std::vector<Complex> b(n, Complex{});
+    g.assign(n * n, Complex{});
+    b.assign(n, Complex{});
     auto gat = [&](std::size_t r, std::size_t c) -> Complex& { return g[r * n + c]; };
 
     auto add_adm = [&](NodeId a, NodeId bn, Complex y) {
@@ -187,8 +203,7 @@ AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
       }
     }
 
-    std::vector<Complex> x;
-    if (!lu_solve_complex(std::move(g), std::move(b), n, x)) {
+    if (!lu_solve_complex(g, b, n, x)) {
       result.status = SolveStatus::kSingularMatrix;
       result.failed_freq = f;
       util::log_warn("run_ac: singular system at f=" + std::to_string(f));

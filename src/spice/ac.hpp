@@ -44,7 +44,13 @@ struct AcResult {
 
 /// Runs AC analysis with a unit AC drive superposed on VSource
 /// `ac_source_name` (all other independent sources are AC grounds).
-/// `probes` empty records every node.
+/// `probes` empty records every node. The workspace overload shares
+/// solver state with the operating-point solve and reuses its complex
+/// buffers across frequency points; the default uses the calling
+/// thread's workspace (SolverWorkspace::tls()).
+AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
+                const std::vector<double>& freqs, const std::vector<std::string>& probes,
+                const AcOptions& opts, SolverWorkspace& ws);
 AcResult run_ac(const Netlist& nl, const std::string& ac_source_name,
                 const std::vector<double>& freqs, const std::vector<std::string>& probes = {},
                 const AcOptions& opts = {});

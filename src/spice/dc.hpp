@@ -15,6 +15,8 @@
 
 namespace lsl::spice {
 
+class SolverWorkspace;
+
 struct DcOptions {
   int max_iterations = 200;
   double abs_tol = 1e-9;        // volts; convergence on max |dV|
@@ -57,11 +59,20 @@ struct DcResult {
 /// Solves the DC operating point. Never throws on numerical failure:
 /// the result's status says what went wrong (singular system, iteration
 /// budget, non-finite values, timeout) and the diagnostics say where.
+/// Solver state (sparsity pattern, symbolic LU, linear stamp base,
+/// iteration buffers) lives in `ws` and is reused across calls; the
+/// default is the calling thread's workspace (SolverWorkspace::tls()).
+DcResult solve_dc(const Netlist& nl, const DcOptions& opts, SolverWorkspace& ws);
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts = {});
 
 /// Sweeps the value of voltage source `vsrc_name` over `values`, warm
 /// starting each point from the previous solution. Returns one DcResult
-/// per point (unconverged points flagged, not dropped).
+/// per point (unconverged points flagged, not dropped). The whole sweep
+/// shares one workspace — and, because the source value is mutated
+/// without touching the topology, one symbolic factorization.
+std::vector<DcResult> dc_sweep(const Netlist& nl, const std::string& vsrc_name,
+                               const std::vector<double>& values, const DcOptions& opts,
+                               SolverWorkspace& ws);
 std::vector<DcResult> dc_sweep(const Netlist& nl, const std::string& vsrc_name,
                                const std::vector<double>& values, const DcOptions& opts = {});
 

@@ -15,14 +15,13 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0);
 }
 
-bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x, double pivot_floor) {
+bool lu_solve_inplace(Matrix& a, std::vector<double>& b, double pivot_floor) {
   const std::size_t n = a.rows();
   if (n == 0 || a.cols() != n || b.size() != n) return false;
 
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-
-  // Doolittle LU with partial pivoting, factoring in place.
+  // Doolittle LU with partial pivoting, factoring in place. Rows of b
+  // are swapped in tandem with the pivot rows, so no permutation vector
+  // is needed — and therefore no allocation.
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t piv = k;
     double best = std::fabs(a.at(k, k));
@@ -37,7 +36,6 @@ bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x, double pi
     if (piv != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(piv, c));
       std::swap(b[k], b[piv]);
-      std::swap(perm[k], perm[piv]);
     }
     const double inv_pivot = 1.0 / a.at(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
@@ -49,13 +47,19 @@ bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x, double pi
     }
   }
 
-  // Back substitution.
-  x.assign(n, 0.0);
+  // Back substitution, in place: b[ri] for ri below the current row
+  // already holds the solution entries it reads.
   for (std::size_t ri = n; ri-- > 0;) {
     double sum = b[ri];
-    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * x[c];
-    x[ri] = sum / a.at(ri, ri);
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * b[c];
+    b[ri] = sum / a.at(ri, ri);
   }
+  return true;
+}
+
+bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x, double pivot_floor) {
+  if (!lu_solve_inplace(a, b, pivot_floor)) return false;
+  x = std::move(b);
   return true;
 }
 

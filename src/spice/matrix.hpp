@@ -29,9 +29,16 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Solves A x = b in place via LU with partial pivoting.
-/// Returns false if the matrix is numerically singular (pivot below
-/// `pivot_floor`); `x` is untouched in that case.
+/// Solves A x = b destructively: factors `a` in place (LU with partial
+/// pivoting, rows of `b` permuted in tandem) and overwrites `b` with the
+/// solution. Performs no heap allocations — this is the hot-loop
+/// entry point; SolverWorkspace owns the buffers. Returns false if the
+/// matrix is numerically singular (pivot below `pivot_floor`); `a` and
+/// `b` hold partial factorization state in that case.
+bool lu_solve_inplace(Matrix& a, std::vector<double>& b, double pivot_floor = 1e-18);
+
+/// Convenience wrapper over lu_solve_inplace taking copies, preserving
+/// the original signature: `x` is only written on success.
 bool lu_solve(Matrix a, std::vector<double> b, std::vector<double>& x,
               double pivot_floor = 1e-18);
 

@@ -1,17 +1,94 @@
 #include "spice/netlist.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace lsl::spice {
 
-Netlist::Netlist() {
+namespace {
+
+/// Process-wide monotonic source of generation stamps. Relaxed is
+/// enough: uniqueness is all the caches need, not ordering.
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+void Netlist::touch() { generation_ = next_generation(); }
+
+Netlist::Netlist() : generation_(next_generation()) {
   node_names_.push_back("0");
   node_by_name_.emplace("0", kGround);
+}
+
+Netlist::Netlist(const Netlist& other)
+    : node_names_(other.node_names_),
+      node_by_name_(other.node_by_name_),
+      devices_(other.devices_),
+      device_by_name_(other.device_by_name_),
+      model_(other.model_),
+      fresh_counter_(other.fresh_counter_),
+      generation_(next_generation()),
+      branch_of_device_(other.branch_of_device_),
+      n_unknowns_(other.n_unknowns_),
+      index_valid_(other.index_valid_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  node_names_ = other.node_names_;
+  node_by_name_ = other.node_by_name_;
+  devices_ = other.devices_;
+  device_by_name_ = other.device_by_name_;
+  model_ = other.model_;
+  fresh_counter_ = other.fresh_counter_;
+  generation_ = next_generation();
+  branch_of_device_ = other.branch_of_device_;
+  n_unknowns_ = other.n_unknowns_;
+  index_valid_ = other.index_valid_;
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) noexcept
+    : node_names_(std::move(other.node_names_)),
+      node_by_name_(std::move(other.node_by_name_)),
+      devices_(std::move(other.devices_)),
+      device_by_name_(std::move(other.device_by_name_)),
+      model_(other.model_),
+      fresh_counter_(other.fresh_counter_),
+      // The destination is content-identical to the pre-move source, so
+      // it may keep the stamp (warm caches stay warm across a move);
+      // the gutted source gets a fresh one so it can never alias.
+      generation_(other.generation_),
+      branch_of_device_(std::move(other.branch_of_device_)),
+      n_unknowns_(other.n_unknowns_),
+      index_valid_(other.index_valid_) {
+  other.generation_ = next_generation();
+  other.index_valid_ = false;
+}
+
+Netlist& Netlist::operator=(Netlist&& other) noexcept {
+  if (this == &other) return *this;
+  node_names_ = std::move(other.node_names_);
+  node_by_name_ = std::move(other.node_by_name_);
+  devices_ = std::move(other.devices_);
+  device_by_name_ = std::move(other.device_by_name_);
+  model_ = other.model_;
+  fresh_counter_ = other.fresh_counter_;
+  generation_ = other.generation_;
+  branch_of_device_ = std::move(other.branch_of_device_);
+  n_unknowns_ = other.n_unknowns_;
+  index_valid_ = other.index_valid_;
+  other.generation_ = next_generation();
+  other.index_valid_ = false;
+  return *this;
 }
 
 NodeId Netlist::node(const std::string& name) {
   const auto it = node_by_name_.find(name);
   if (it != node_by_name_.end()) return it->second;
+  touch();
   const NodeId id = node_names_.size();
   node_names_.push_back(name);
   node_by_name_.emplace(name, id);
@@ -37,11 +114,20 @@ std::size_t Netlist::add(std::string name, DeviceImpl impl) {
   if (device_by_name_.count(name) != 0) {
     throw std::invalid_argument("duplicate device name: " + name);
   }
+  touch();
   const std::size_t idx = devices_.size();
   device_by_name_.emplace(name, idx);
   devices_.push_back(Device{std::move(name), std::move(impl), true});
   index_valid_ = false;
   return idx;
+}
+
+void Netlist::set_vsource_volts(std::size_t i, double volts) {
+  auto* vs = std::get_if<VSource>(&devices_.at(i).impl);
+  if (vs == nullptr) {
+    throw std::invalid_argument("not a VSource: " + devices_.at(i).name);
+  }
+  vs->volts = volts;
 }
 
 std::optional<std::size_t> Netlist::find_device(const std::string& name) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -99,9 +100,26 @@ struct ModelCard {
 };
 
 /// Flat netlist with string-named nodes (node 0 = "0" = ground).
+///
+/// Every netlist carries a process-unique *generation* stamp that the
+/// solver workspaces key their per-topology caches (sparsity pattern,
+/// symbolic LU, linear stamp base) on. Any mutable access — add(),
+/// node creation, the non-const device()/devices()/model() accessors —
+/// assigns a fresh stamp, conservatively invalidating those caches.
+/// Copies always get a fresh stamp, so no two distinct netlists ever
+/// share one. The single deliberate carve-out: mutating a device
+/// parameter through a *retained* reference (without re-calling an
+/// accessor) is only supported for values the solver re-reads on every
+/// solve — VSource::volts (dc_sweep does exactly this). Retained-pointer
+/// mutation of matrix-shaping values (Resistor::ohms, Capacitor::farads,
+/// Vcvs::gain, Device::enabled) must go through device()/devices().
 class Netlist {
  public:
   Netlist();
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other) noexcept;
+  Netlist& operator=(Netlist&& other) noexcept;
 
   /// Returns the node with this name, creating it if absent.
   NodeId node(const std::string& name);
@@ -115,16 +133,39 @@ class Netlist {
   /// Adds a device; returns its index. Names must be unique.
   std::size_t add(std::string name, DeviceImpl impl);
 
-  /// Device access for analyses and fault edits.
-  std::vector<Device>& devices() { return devices_; }
+  /// Device access for analyses and fault edits. The non-const
+  /// overloads assume the caller will mutate and refresh generation().
+  std::vector<Device>& devices() {
+    touch();
+    return devices_;
+  }
   const std::vector<Device>& devices() const { return devices_; }
-  Device& device(std::size_t i) { return devices_.at(i); }
+  Device& device(std::size_t i) {
+    touch();
+    return devices_.at(i);
+  }
   const Device& device(std::size_t i) const { return devices_.at(i); }
   /// Index of the device with this name; nullopt if absent.
   std::optional<std::size_t> find_device(const std::string& name) const;
 
-  ModelCard& model() { return model_; }
+  ModelCard& model() {
+    touch();
+    return model_;
+  }
   const ModelCard& model() const { return model_; }
+
+  /// Cache key for solver-side per-topology state. Unique across all
+  /// netlists in the process; refreshed by every mutable access.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Sets the value of VSource device `i` WITHOUT refreshing the
+  /// generation stamp. Source values only ever enter the MNA right-hand
+  /// side, which the solver rebuilds from the netlist on every Newton
+  /// iteration, so this mutation cannot stale any cached matrix state.
+  /// This is the fast path for drive toggling between solves (the DFT
+  /// stages flip a dozen sources per fault). Throws if `i` is not a
+  /// VSource.
+  void set_vsource_volts(std::size_t i, double volts);
 
   /// Number of MNA unknowns: node voltages (excluding ground) plus one
   /// branch current per enabled VSource/Vcvs.
@@ -139,12 +180,15 @@ class Netlist {
   void reindex() const;
 
  private:
+  void touch();
+
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, NodeId> node_by_name_;
   std::vector<Device> devices_;
   std::unordered_map<std::string, std::size_t> device_by_name_;
   ModelCard model_;
   std::size_t fresh_counter_ = 0;
+  std::uint64_t generation_ = 0;
 
   mutable std::vector<std::size_t> branch_of_device_;  // device idx -> MNA idx
   mutable std::size_t n_unknowns_ = 0;

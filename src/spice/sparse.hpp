@@ -1,0 +1,112 @@
+// Sparse linear algebra for the MNA solver: a CSR matrix whose sparsity
+// pattern is fixed once per netlist topology, plus an LU factorization
+// that separates the one-off *symbolic* work (fill-reducing ordering,
+// fill pattern) from the per-Newton-iteration *numeric* refactorization.
+//
+// MNA systems here are overwhelmingly sparse (a handful of entries per
+// row) but small (tens to a few hundred unknowns), so the design favors
+// simplicity with the right asymptotics over supernodal machinery:
+//
+//  - Ordering: minimum-degree over the node-voltage unknowns (their
+//    diagonals are structurally nonzero thanks to gmin), with the
+//    branch-current unknowns of V/E sources appended in natural order.
+//    Eliminating branch rows last matters twice over: their diagonals
+//    are structural zeros (a voltage source contributes no (bi,bi)
+//    entry), and the ±1 incidence entries guarantee they *receive*
+//    diagonal fill once their node neighbors are eliminated.
+//  - Numeric factorization: up-looking row LU on the static pattern, no
+//    pivoting. A per-row pivot-health check (absolute floor plus a
+//    relative row test) rejects factorizations that static ordering
+//    cannot handle; the caller then falls back to dense partial-pivot
+//    LU, which preserves the existing singular-matrix semantics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsl::spice {
+
+inline constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+/// Row-major CSR matrix with a two-phase life cycle: a pattern phase
+/// (note every coordinate the stamps will ever touch; duplicates fine)
+/// followed by a value phase (zero / add into resolved slots). The
+/// diagonal is always part of the pattern. Re-entering the pattern
+/// phase (begin_pattern) is the only way to change the structure.
+class SparseMatrix {
+ public:
+  // --- pattern phase (cold: once per netlist topology) ---
+  void begin_pattern(std::size_t n);
+  void note(std::size_t r, std::size_t c);
+  void finalize_pattern();
+
+  std::size_t dim() const { return n_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+
+  /// Slot of entry (r, c), or kNoSlot if outside the pattern. Binary
+  /// search — cold-path only; hot paths precompute slots.
+  std::size_t slot(std::size_t r, std::size_t c) const;
+
+  // --- value phase (hot: every Newton iteration) ---
+  void zero() { std::fill(values_.begin(), values_.end(), 0.0); }
+  void add(std::size_t slot, double v) { values_[slot] += v; }
+  std::vector<double>& values() { return values_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// r += A·x - b over the pattern (the O(nnz) residual walk). `r` must
+  /// be pre-sized to dim() and zeroed by the caller.
+  void accumulate_residual(const std::vector<double>& x, const std::vector<double>& b,
+                           std::vector<double>& r) const;
+
+ private:
+  std::size_t n_ = 0;
+  bool building_ = false;
+  std::vector<std::pair<std::size_t, std::size_t>> coords_;  // pattern phase
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// LU factorization of a SparseMatrix with cached symbolic analysis.
+/// analyze() once per pattern; factor()/solve() every iteration.
+class SparseLu {
+ public:
+  /// Symbolic phase: fill-reducing ordering plus fill pattern.
+  /// Unknowns [0, n_volts) are node voltages (minimum-degree ordered);
+  /// unknowns [n_volts, n) are branch currents, kept last in natural
+  /// order. Allocates; never called from the hot loop.
+  void analyze(const SparseMatrix& a, std::size_t n_volts);
+
+  bool analyzed() const { return analyzed_; }
+  std::size_t fill_nnz() const { return lu_col_idx_.size(); }
+
+  /// Numeric refactorization of `a` (same pattern as analyzed) on the
+  /// cached symbolic structure. Allocation-free. Returns false when a
+  /// pivot falls below the absolute floor (or is NaN) — the
+  /// static-order factorization is then untrustworthy and the caller
+  /// should use the dense fallback. Quality beyond that is the
+  /// caller's job: verify the solve's residual, since static ordering
+  /// has no partial pivoting to bound element growth.
+  bool factor(const SparseMatrix& a, double pivot_floor);
+
+  /// Solves A x = b using the last successful factor(). Allocation-free;
+  /// `x` must be pre-sized to dim(). `x` and `b` may not alias.
+  void solve(const std::vector<double>& b, std::vector<double>& x) const;
+
+ private:
+  std::size_t n_ = 0;
+  bool analyzed_ = false;
+  std::vector<std::size_t> perm_;  // permuted row i <- original perm_[i]
+  std::vector<std::size_t> pinv_;  // original r -> permuted position
+  // LU pattern over permuted indices, rows sorted; diag_pos_[i] is the
+  // slot of the diagonal inside row i (L strictly left, U from there).
+  std::vector<std::size_t> lu_row_ptr_;
+  std::vector<std::size_t> lu_col_idx_;
+  std::vector<std::size_t> diag_pos_;
+  std::vector<double> lu_values_;
+  mutable std::vector<double> work_;  // dense scatter row / solve scratch
+};
+
+}  // namespace lsl::spice

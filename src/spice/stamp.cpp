@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "spice/workspace.hpp"
+
 namespace lsl::spice {
 
 namespace {
@@ -212,27 +214,16 @@ void stamp_system(const StampContext& ctx, const std::vector<double>& x, Matrix&
 }
 
 std::vector<double> mna_residual(const StampContext& ctx, const std::vector<double>& x) {
-  Matrix g;
-  std::vector<double> b;
-  stamp_system(ctx, x, g, b);
-  const std::size_t n = ctx.nl->unknown_count();
-  std::vector<double> r(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = -b[i];
-    for (std::size_t j = 0; j < n; ++j) acc += g.at(i, j) * x[j];
-    r[i] = acc;
-  }
+  // O(nnz) via the calling thread's solver workspace: the sparse stamp
+  // produces the same G and b entries as stamp_system, and the residual
+  // walk touches only the pattern instead of every (i, j) pair.
+  std::vector<double> r;
+  SolverWorkspace::tls().mna_residual(ctx, x, r);
   return r;
 }
 
 double kcl_residual_norm(const StampContext& ctx, const std::vector<double>& x) {
-  const std::vector<double> r = mna_residual(ctx, x);
-  const std::size_t n_volts = ctx.nl->node_count() - 1;
-  double worst = 0.0;
-  for (std::size_t i = 0; i < n_volts && i < r.size(); ++i) {
-    worst = std::max(worst, std::fabs(r[i]));
-  }
-  return worst;
+  return SolverWorkspace::tls().kcl_residual_norm(ctx, x);
 }
 
 }  // namespace lsl::spice

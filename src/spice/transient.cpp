@@ -7,6 +7,7 @@
 
 #include "spice/matrix.hpp"
 #include "spice/stamp.hpp"
+#include "spice/workspace.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -61,40 +62,61 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Newton iteration for one transient step (or the t=0 operating point
-/// when ctx.dt == 0).
+/// when ctx.dt == 0). Matrix/vector state lives in `ws`; after warm-up
+/// the loop body performs no heap allocations (worst-node naming is
+/// deferred to exit for the same reason).
 SolveStatus step_newton(const Netlist& nl, const StampContext& ctx, const DcOptions& opts,
-                        std::vector<double>& x, SolveDiagnostics& diag) {
-  Matrix g;
-  std::vector<double> b;
-  std::vector<double> x_new;
+                        SolverWorkspace& ws, std::vector<double>& x, SolveDiagnostics& diag) {
+  std::vector<double>& x_new = ws.iterate_scratch();
   const std::size_t n = nl.unknown_count();
   if (x.size() != n) x.assign(n, 0.0);
   const std::size_t n_volts = nl.node_count() - 1;
 
+  bool have_worst = false;
+  std::size_t worst = 0;
+  const auto resolve_worst = [&] {
+    if (have_worst) diag.worst_node = nl.node_name(static_cast<NodeId>(worst + 1));
+  };
+
   for (int it = 0; it < opts.max_iterations; ++it) {
     ++diag.iterations;
-    stamp_system(ctx, x, g, b);
-    if (!lu_solve(g, b, x_new)) return SolveStatus::kSingularMatrix;
+    if (!ws.solve_newton_system(ctx, x, x_new, &diag)) {
+      resolve_worst();
+      return SolveStatus::kSingularMatrix;
+    }
     double max_dv = 0.0;
-    std::size_t worst = 0;
+    std::size_t it_worst = 0;
     for (std::size_t k = 0; k < n_volts; ++k) {
       double dv = x_new[k] - x[k];
-      if (!std::isfinite(dv)) return SolveStatus::kNonFinite;
+      if (!std::isfinite(dv)) {
+        resolve_worst();
+        return SolveStatus::kNonFinite;
+      }
       if (std::fabs(dv) > max_dv) {
         max_dv = std::fabs(dv);
-        worst = k;
+        it_worst = k;
       }
       dv = std::clamp(dv, -opts.damping_limit, opts.damping_limit);
       x[k] += dv;
     }
     for (std::size_t k = n_volts; k < n; ++k) {
-      if (!std::isfinite(x_new[k])) return SolveStatus::kNonFinite;
+      if (!std::isfinite(x_new[k])) {
+        resolve_worst();
+        return SolveStatus::kNonFinite;
+      }
       x[k] = x_new[k];
     }
+    if (n_volts > 0) {
+      worst = it_worst;
+      have_worst = true;
+    }
     diag.final_max_dv = max_dv;
-    diag.worst_node = nl.node_name(static_cast<NodeId>(worst + 1));
-    if (max_dv < opts.abs_tol) return SolveStatus::kConverged;
+    if (max_dv < opts.abs_tol) {
+      resolve_worst();
+      return SolveStatus::kConverged;
+    }
   }
+  resolve_worst();
   return SolveStatus::kMaxIterations;
 }
 
@@ -105,18 +127,28 @@ namespace {
 /// Per-run metrics (instrument names: docs/OBSERVABILITY.md). The
 /// per-step Newton histogram is recorded inline in the step loop; the
 /// aggregates here close out one run_transient call.
-void record_transient_metrics(const TransientResult& result) {
+void record_transient_metrics(const TransientResult& result,
+                              const SolverWorkspace::Stats& ws_before,
+                              const SolverWorkspace::Stats& ws_after) {
   auto& m = util::metrics();
   static util::Counter& runs = m.counter("solver.transient.runs");
   static util::Counter& failures = m.counter("solver.transient.failures");
   static util::Counter& steps = m.counter("solver.transient.steps_accepted");
   static util::Counter& halvings = m.counter("solver.transient.step_halvings");
   static util::Counter& iterations = m.counter("solver.transient.newton_iterations");
+  static util::Counter& symbolic_builds = m.counter("solver.transient.symbolic_builds");
+  static util::Counter& symbolic_reuse = m.counter("solver.transient.symbolic_reuse");
+  static util::Counter& sparse_solves = m.counter("solver.transient.sparse_solves");
+  static util::Counter& dense_fallbacks = m.counter("solver.transient.dense_fallbacks");
   runs.add(1);
   if (!result.ok) failures.add(1);
   steps.add(static_cast<std::int64_t>(result.steps_accepted));
   halvings.add(static_cast<std::int64_t>(result.step_halvings));
   iterations.add(result.newton_iterations);
+  symbolic_builds.add(ws_after.symbolic_builds - ws_before.symbolic_builds);
+  symbolic_reuse.add(ws_after.symbolic_reuse - ws_before.symbolic_reuse);
+  sparse_solves.add(ws_after.sparse_solves - ws_before.sparse_solves);
+  dense_fallbacks.add(ws_after.dense_fallbacks - ws_before.dense_fallbacks);
 }
 
 }  // namespace
@@ -124,9 +156,16 @@ void record_transient_metrics(const TransientResult& result) {
 TransientResult run_transient(const Netlist& nl,
                               const std::unordered_map<std::string, Waveform>& drives,
                               const TransientOptions& opts) {
+  return run_transient(nl, drives, opts, SolverWorkspace::tls());
+}
+
+TransientResult run_transient(const Netlist& nl,
+                              const std::unordered_map<std::string, Waveform>& drives,
+                              const TransientOptions& opts, SolverWorkspace& ws) {
   nl.reindex();
   util::TraceSpan run_span("run_transient", "solver");
   const auto start = Clock::now();
+  const SolverWorkspace::Stats ws_stats_before = ws.stats();
   TransientResult result;
 
   // Resolve waveform drives to device indices.
@@ -161,7 +200,7 @@ TransientResult run_transient(const Netlist& nl,
   const auto fail = [&](SolveStatus st, double t) {
     result.status = st;
     result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
-    record_transient_metrics(result);
+    record_transient_metrics(result, ws_stats_before, ws.stats());
     run_span.arg("steps", static_cast<double>(result.steps_accepted));
     run_span.arg("halvings", static_cast<double>(result.step_halvings));
     util::log_warn("run_transient: " + to_string(st) + " at t=" + std::to_string(t) +
@@ -186,7 +225,7 @@ TransientResult run_transient(const Netlist& nl,
     for (const auto& [di, wave] : drive_list) {
       std::get<VSource>(op.device(di).impl).volts = (*wave)(0.0);
     }
-    const DcResult dc = solve_dc(op, opts.newton);
+    const DcResult dc = solve_dc(op, opts.newton, ws);
     result.newton_iterations += dc.iterations;
     if (!dc.converged) {
       result.diag = dc.diag;
@@ -265,7 +304,7 @@ TransientResult run_transient(const Netlist& nl,
       x_try = x;
       SolveDiagnostics step_diag;
       const Clock::time_point step_t0 = detailed ? Clock::now() : Clock::time_point{};
-      const SolveStatus st = step_newton(nl, ctx, opts.newton, x_try, step_diag);
+      const SolveStatus st = step_newton(nl, ctx, opts.newton, ws, x_try, step_diag);
       if (detailed) {
         step_seconds.observe(std::chrono::duration<double>(Clock::now() - step_t0).count());
       }
@@ -276,8 +315,10 @@ TransientResult run_transient(const Netlist& nl,
         // Residual and current history both need the PRE-step voltages
         // still in prev_node_v, so they run before capture_node_v.
         if (opts.record_kcl_residual) {
+          // O(nnz) via the workspace's cached pattern (the free-function
+          // kcl_residual_norm would stamp a dense matrix per sub-step).
           result.max_kcl_residual =
-              std::max(result.max_kcl_residual, kcl_residual_norm(ctx, x));
+              std::max(result.max_kcl_residual, ws.kcl_residual_norm(ctx, x));
         }
         update_cap_currents(sub_dt);
         t = t_next;
@@ -303,7 +344,7 @@ TransientResult run_transient(const Netlist& nl,
   result.ok = true;
   result.status = SolveStatus::kConverged;
   result.diag.elapsed_sec = std::chrono::duration<double>(Clock::now() - start).count();
-  record_transient_metrics(result);
+  record_transient_metrics(result, ws_stats_before, ws.stats());
   run_span.arg("steps", static_cast<double>(result.steps_accepted));
   run_span.arg("halvings", static_cast<double>(result.step_halvings));
   return result;

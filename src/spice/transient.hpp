@@ -82,6 +82,12 @@ Waveform pwl_wave(std::vector<std::pair<double, double>> points);
 /// Samples land exactly on the k*dt output grid regardless of any
 /// internal sub-stepping. Numerical failure never throws: the result
 /// carries the partial waveform plus the status and diagnostics.
+/// Solver state (symbolic LU, stamp caches, iteration buffers) lives in
+/// `ws` and is shared with the t=0 DC solve; the default overload uses
+/// the calling thread's workspace (SolverWorkspace::tls()).
+TransientResult run_transient(const Netlist& nl,
+                              const std::unordered_map<std::string, Waveform>& drives,
+                              const TransientOptions& opts, SolverWorkspace& ws);
 TransientResult run_transient(const Netlist& nl,
                               const std::unordered_map<std::string, Waveform>& drives,
                               const TransientOptions& opts);

@@ -1,0 +1,47 @@
+// Smoke test of the sparse-engine contract on the golden netlist: a
+// warm dc_sweep of the full analog frontend must run entirely on the
+// sparse path (one symbolic analysis shared by every point, zero dense
+// fallbacks), and the solver.dc.* instruments must see it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cells/link_frontend.hpp"
+#include "spice/dc.hpp"
+#include "spice/workspace.hpp"
+#include "util/metrics.hpp"
+
+namespace lsl::cells {
+namespace {
+
+TEST(SolverSmoke, WarmDcSweepReusesSymbolicAnalysisWithoutFallbacks) {
+  LinkFrontend fe;
+  spice::SolverWorkspace ws;  // private workspace: stats start at zero
+
+  std::vector<double> points;
+  for (int i = 0; i <= 20; ++i) points.push_back(1.2 * i / 20.0);
+
+  auto& m = util::metrics();
+  const auto reuse_before = m.counter("solver.dc.symbolic_reuse").value();
+  const auto fallbacks_before = m.counter("solver.dc.dense_fallbacks").value();
+
+  const auto results =
+      spice::dc_sweep(fe.netlist(), fe.src_tap_main_p(), points, spice::DcOptions{}, ws);
+  ASSERT_EQ(results.size(), points.size());
+  for (const auto& r : results) EXPECT_TRUE(r.converged);
+
+  // The golden netlist sits above the dense crossover: everything runs
+  // sparse, against a single cached symbolic factorization.
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);
+  EXPECT_GT(ws.stats().symbolic_reuse, 0u);
+  EXPECT_GT(ws.stats().sparse_solves, 0u);
+  EXPECT_EQ(ws.stats().dense_fallbacks, 0u);
+  EXPECT_EQ(ws.stats().dense_solves, 0u);
+
+  // The same story must be visible through the metrics registry.
+  EXPECT_GT(m.counter("solver.dc.symbolic_reuse").value(), reuse_before);
+  EXPECT_EQ(m.counter("solver.dc.dense_fallbacks").value(), fallbacks_before);
+}
+
+}  // namespace
+}  // namespace lsl::cells

@@ -15,6 +15,7 @@
 #include <numeric>
 #include <string>
 
+#include "spice/workspace.hpp"
 #include "util/jsonl.hpp"
 
 namespace lsl::dft {
@@ -189,6 +190,56 @@ TEST_F(ParallelCampaignFixture, ProgressAndAbortSerializedUnderWriterMutex) {
   EXPECT_EQ(progress_calls, report.outcomes.size());
   EXPECT_EQ(abort_calls, report.outcomes.size());
   expect_identical(*serial_, report);
+}
+
+TEST_F(ParallelCampaignFixture, CampaignRunsOnTheSparseEngine) {
+  // The frontend netlist sits well above the dense crossover, so a
+  // campaign must be served overwhelmingly by the sparse path, with
+  // cached symbolic analyses reused across faults. Fault circuits that
+  // mix short and open conductances can defeat the no-pivot
+  // factorization — those take the dense fallback by design — but
+  // they must stay a small minority. A serial run executes on this
+  // thread, so its tls() workspace is ours.
+  auto& ws = spice::SolverWorkspace::tls();
+  const auto before = ws.stats();
+  const CampaignReport report = run_campaign(*golden_, small_opts(1));
+  ASSERT_TRUE(report.complete);
+  const auto after = ws.stats();
+  const auto sparse = after.sparse_solves - before.sparse_solves;
+  const auto fallbacks = after.dense_fallbacks - before.dense_fallbacks;
+  EXPECT_GT(sparse, 0u);
+  EXPECT_GT(after.symbolic_reuse, before.symbolic_reuse);
+  EXPECT_LT(fallbacks * 10, sparse) << "dense fallbacks should be <10% of sparse solves";
+  expect_identical(*serial_, report);
+}
+
+TEST_F(ParallelCampaignFixture, SparseAndForcedDenseEnginesAgreeOnEveryVerdict) {
+  // Differential check of the two solver engines end to end: forcing
+  // every linear solve onto the dense reference path must reproduce the
+  // same detection story. (Engines agree to solver tolerance, not to
+  // the last bit, so this compares verdicts and coverage — the
+  // byte-identity contract applies within one engine, and is covered by
+  // the thread-count and resume tests above.)
+  auto& tuning = spice::solver_tuning();
+  const spice::SolverTuning saved = tuning;
+  tuning.force_dense = true;
+  for (const std::size_t threads : {1u, 4u}) {
+    const CampaignReport dense = run_campaign(*golden_, small_opts(threads));
+    EXPECT_TRUE(dense.complete);
+    ASSERT_EQ(dense.outcomes.size(), serial_->outcomes.size());
+    for (std::size_t i = 0; i < dense.outcomes.size(); ++i) {
+      const FaultOutcome& s = serial_->outcomes[i];
+      const FaultOutcome& d = dense.outcomes[i];
+      EXPECT_EQ(s.index, d.index);
+      EXPECT_EQ(s.dc, d.dc) << s.fault.describe();
+      EXPECT_EQ(s.scan, d.scan) << s.fault.describe();
+      EXPECT_EQ(s.bist, d.bist) << s.fault.describe();
+      EXPECT_EQ(s.verdict, d.verdict) << s.fault.describe();
+    }
+    EXPECT_EQ(dense.total.cum_all.detected, serial_->total.cum_all.detected);
+    EXPECT_EQ(dense.total.cum_all.total, serial_->total.cum_all.total);
+  }
+  tuning = saved;
 }
 
 TEST(CanonicalJson, StripsElapsedOnly) {

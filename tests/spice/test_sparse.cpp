@@ -1,0 +1,397 @@
+// Sparse-engine tests: CSR/symbolic-LU units, sparse-vs-dense
+// equivalence on randomized fixed-seed netlists, symbolic-cache
+// invalidation across every supported mutation path, and the
+// zero-allocation guarantee of the warm Newton inner loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/matrix.hpp"
+#include "spice/sparse.hpp"
+#include "spice/stamp.hpp"
+#include "spice/workspace.hpp"
+#include "util/rng.hpp"
+
+// Global allocation counter: every operator new in this test binary
+// funnels through here, so a warm Newton loop can be asserted
+// allocation-free without any instrumentation in the solver itself.
+namespace {
+std::atomic<long> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lsl::spice {
+namespace {
+
+/// Restores the global solver tuning on scope exit, so tests that flip
+/// force_dense/force_sparse cannot leak state into each other.
+struct ScopedTuning {
+  SolverTuning saved = solver_tuning();
+  ~ScopedTuning() { solver_tuning() = saved; }
+};
+
+/// Same generators as test_invariants.cpp: fixed-seed random RC ladder.
+Netlist make_random_rc(util::Pcg32& rng, std::size_t n_nodes) {
+  Netlist nl;
+  const NodeId vin = nl.node("in");
+  nl.add("vin", VSource{vin, kGround, rng.next_range(0.3, 1.2)});
+  NodeId prev = vin;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const NodeId cur = nl.node("n" + std::to_string(i));
+    nl.add("r" + std::to_string(i), Resistor{prev, cur, rng.next_range(100.0, 10e3)});
+    if (rng.next_bool()) {
+      nl.add("rg" + std::to_string(i), Resistor{cur, kGround, rng.next_range(1e3, 100e3)});
+    }
+    nl.add("c" + std::to_string(i), Capacitor{cur, kGround, rng.next_range(0.1e-12, 5e-12)});
+    prev = cur;
+  }
+  return nl;
+}
+
+/// Fixed-seed random MOSFET chain (nonlinear: exercises the split
+/// linear/nonlinear stamping, not just the linear base).
+Netlist make_random_mos(util::Pcg32& rng, std::size_t n_stages) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  nl.add("v_vdd", VSource{vdd, kGround, 1.2});
+  const NodeId in = nl.node("g0");
+  nl.add("v_in", VSource{in, kGround, rng.next_range(0.0, 1.2)});
+  NodeId gate = in;
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    const NodeId out = nl.node("o" + std::to_string(s));
+    const double w = rng.next_range(0.2e-6, 2.0e-6);
+    const double l = rng.next_range(0.2e-6, 1.0e-6);
+    const double r_load = rng.next_range(1e3, 50e3);
+    if (rng.next_bool()) {
+      nl.add("mn" + std::to_string(s), Mosfet{out, gate, kGround, MosType::kNmos, w, l, 0.0});
+      nl.add("rl" + std::to_string(s), Resistor{out, vdd, r_load});
+    } else {
+      nl.add("mp" + std::to_string(s), Mosfet{out, gate, vdd, MosType::kPmos, w, l, 0.0});
+      nl.add("rl" + std::to_string(s), Resistor{out, kGround, r_load});
+    }
+    gate = out;
+  }
+  return nl;
+}
+
+// --- SparseMatrix / SparseLu units ------------------------------------
+
+TEST(SparseEngine, PatternDedupesAndSortsSlots) {
+  SparseMatrix m;
+  m.begin_pattern(3);
+  m.note(0, 2);
+  m.note(0, 2);  // duplicate folds into one slot
+  m.note(2, 0);
+  m.finalize_pattern();
+  // 3 diagonal slots + (0,2) + (2,0).
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_NE(m.slot(0, 2), kNoSlot);
+  EXPECT_NE(m.slot(2, 0), kNoSlot);
+  EXPECT_EQ(m.slot(1, 2), kNoSlot);
+  // Row 0 slots are column-sorted: diagonal before (0,2).
+  EXPECT_LT(m.slot(0, 0), m.slot(0, 2));
+}
+
+TEST(SparseEngine, LuMatchesDenseOnCraftedSystem) {
+  // 4x4 with an MNA-like shape: SPD-ish node block plus a voltage-source
+  // branch row/column whose diagonal is a structural zero.
+  //   [ 2  -1   0   1 ] [x0]   [ 0]
+  //   [-1   3  -1   0 ] [x1] = [ 1]
+  //   [ 0  -1   2   0 ] [x2]   [ 0]
+  //   [ 1   0   0   0 ] [x3]   [ 2]
+  SparseMatrix m;
+  m.begin_pattern(4);
+  m.note(0, 1);
+  m.note(1, 0);
+  m.note(1, 2);
+  m.note(2, 1);
+  m.note(0, 3);
+  m.note(3, 0);
+  m.finalize_pattern();
+  m.zero();
+  m.add(m.slot(0, 0), 2.0);
+  m.add(m.slot(0, 1), -1.0);
+  m.add(m.slot(0, 3), 1.0);
+  m.add(m.slot(1, 0), -1.0);
+  m.add(m.slot(1, 1), 3.0);
+  m.add(m.slot(1, 2), -1.0);
+  m.add(m.slot(2, 1), -1.0);
+  m.add(m.slot(2, 2), 2.0);
+  m.add(m.slot(3, 0), 1.0);
+  const std::vector<double> b = {0.0, 1.0, 0.0, 2.0};
+
+  SparseLu lu;
+  lu.analyze(m, 3);  // unknowns 0..2 are "node voltages", 3 is a branch
+  ASSERT_TRUE(lu.factor(m, 1e-18));
+  std::vector<double> x(4, 0.0);
+  lu.solve(b, x);
+
+  Matrix d(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::size_t s = m.slot(r, c);
+      d.at(r, c) = s == kNoSlot ? 0.0 : m.values()[s];
+    }
+  }
+  std::vector<double> x_ref;
+  ASSERT_TRUE(lu_solve(d, b, x_ref));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-12) << "unknown " << i;
+  }
+}
+
+TEST(SparseEngine, FactorRejectsSingularMatrix) {
+  // Two identical rows -> exactly singular.
+  SparseMatrix m;
+  m.begin_pattern(2);
+  m.note(0, 1);
+  m.note(1, 0);
+  m.finalize_pattern();
+  m.zero();
+  m.add(m.slot(0, 0), 1.0);
+  m.add(m.slot(0, 1), 1.0);
+  m.add(m.slot(1, 0), 1.0);
+  m.add(m.slot(1, 1), 1.0);
+  SparseLu lu;
+  lu.analyze(m, 2);
+  EXPECT_FALSE(lu.factor(m, 1e-18));
+}
+
+TEST(SparseEngine, ResidualWalkMatchesDenseDefinition) {
+  util::Pcg32 rng(7);
+  const Netlist nl = make_random_mos(rng, 3);
+  StampContext ctx;
+  ctx.nl = &nl;
+  std::vector<double> x(nl.unknown_count());
+  for (auto& v : x) v = rng.next_range(-0.5, 1.5);
+
+  // Reference: dense stamp + full row sweep (the pre-sparse definition).
+  Matrix g;
+  std::vector<double> b;
+  stamp_system(ctx, x, g, b);
+  const std::size_t n = nl.unknown_count();
+  const std::vector<double> r = mna_residual(ctx, x);
+  ASSERT_EQ(r.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = -b[i];
+    for (std::size_t j = 0; j < n; ++j) acc += g.at(i, j) * x[j];
+    EXPECT_NEAR(r[i], acc, 1e-12 + 1e-9 * std::fabs(acc)) << "row " << i;
+  }
+}
+
+// --- sparse vs dense equivalence --------------------------------------
+
+TEST(SparseEngine, DcSolutionsMatchDenseOnRandomNetlists) {
+  ScopedTuning guard;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Pcg32 rng_a(seed);
+    util::Pcg32 rng_b(seed);
+    const Netlist nl_rc = make_random_rc(rng_a, 4 + seed % 8);
+    const Netlist nl_mos = make_random_mos(rng_b, 2 + seed % 4);
+    for (const Netlist* nl : {&nl_rc, &nl_mos}) {
+      solver_tuning().force_sparse = true;
+      solver_tuning().force_dense = false;
+      SolverWorkspace ws_sparse;
+      const DcResult rs = solve_dc(*nl, {}, ws_sparse);
+
+      solver_tuning().force_sparse = false;
+      solver_tuning().force_dense = true;
+      SolverWorkspace ws_dense;
+      const DcResult rd = solve_dc(*nl, {}, ws_dense);
+
+      ASSERT_EQ(rs.converged, rd.converged) << "seed " << seed;
+      ASSERT_TRUE(rs.converged) << "seed " << seed;
+      ASSERT_EQ(rs.x.size(), rd.x.size());
+      EXPECT_GT(ws_sparse.stats().sparse_solves, 0u);
+      EXPECT_EQ(ws_sparse.stats().dense_fallbacks, 0u) << "seed " << seed;
+      EXPECT_EQ(ws_dense.stats().sparse_solves, 0u);
+      for (std::size_t i = 0; i < rs.x.size(); ++i) {
+        EXPECT_NEAR(rs.x[i], rd.x[i], 1e-6) << "seed " << seed << " unknown " << i;
+      }
+    }
+  }
+}
+
+TEST(SparseEngine, WarmSolveBitIdenticalToCold) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(42);
+  const Netlist nl = make_random_mos(rng, 4);
+
+  SolverWorkspace cold;
+  const DcResult first = solve_dc(nl, {}, cold);
+  ASSERT_TRUE(first.converged);
+
+  // Same workspace, now warm: every cache hits, and the numbers must be
+  // EXACTLY the bits of the cold solve (caches only skip work that
+  // would have produced identical values).
+  const DcResult warm = solve_dc(nl, {}, cold);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_GT(cold.stats().symbolic_reuse, 0u);
+  ASSERT_EQ(first.x.size(), warm.x.size());
+  for (std::size_t i = 0; i < first.x.size(); ++i) {
+    EXPECT_EQ(first.x[i], warm.x[i]) << "unknown " << i;
+  }
+  EXPECT_EQ(first.iterations, warm.iterations);
+}
+
+// --- symbolic cache invalidation --------------------------------------
+
+TEST(SparseEngine, CacheInvalidatedByAddDevice) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(5);
+  Netlist nl = make_random_rc(rng, 5);
+  SolverWorkspace ws;
+
+  ASSERT_TRUE(solve_dc(nl, {}, ws).converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);
+  ASSERT_TRUE(solve_dc(nl, {}, ws).converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);  // reused
+  EXPECT_GT(ws.stats().symbolic_reuse, 0u);
+
+  nl.add("r_extra", Resistor{nl.node("n0"), nl.node("n3"), 2e3});
+  ASSERT_TRUE(solve_dc(nl, {}, ws).converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 2u);
+}
+
+TEST(SparseEngine, CacheInvalidatedByEnabledToggle) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(6);
+  Netlist nl = make_random_rc(rng, 5);
+  SolverWorkspace ws;
+
+  const DcResult before = solve_dc(nl, {}, ws);
+  ASSERT_TRUE(before.converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);
+
+  const auto di = nl.find_device("c2");
+  ASSERT_TRUE(di.has_value());
+  nl.device(*di).enabled = false;  // non-const access refreshes generation
+  const DcResult after = solve_dc(nl, {}, ws);
+  ASSERT_TRUE(after.converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 2u);
+}
+
+TEST(SparseEngine, CacheInvalidatedByFaultStyleFreshNodeEdit) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(8);
+  Netlist nl = make_random_rc(rng, 6);
+  SolverWorkspace ws;
+  ASSERT_TRUE(solve_dc(nl, {}, ws).converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);
+
+  // Series-open style fault edit: splice a fresh node into a resistor.
+  const auto di = nl.find_device("r2");
+  ASSERT_TRUE(di.has_value());
+  const NodeId mid = nl.fresh_node("open_r2");
+  auto& r2 = std::get<Resistor>(nl.device(*di).impl);
+  const NodeId old_b = r2.b;
+  r2.b = mid;
+  nl.add("r2_open", Resistor{mid, old_b, 1e9});
+
+  const DcResult after = solve_dc(nl, {}, ws);
+  ASSERT_TRUE(after.converged);
+  EXPECT_EQ(ws.stats().symbolic_builds, 2u);
+}
+
+TEST(SparseEngine, DcSweepSharesOneSymbolicFactorization) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(9);
+  const Netlist nl = make_random_rc(rng, 6);
+  SolverWorkspace ws;
+
+  std::vector<double> points;
+  for (int i = 0; i <= 20; ++i) points.push_back(0.05 * i);
+  const auto sweep = dc_sweep(nl, "vin", points, {}, ws);
+  ASSERT_EQ(sweep.size(), points.size());
+  for (const auto& r : sweep) ASSERT_TRUE(r.converged);
+  // dc_sweep copies the netlist once; every point mutates the source
+  // value through the generation-preserving setter, so the whole sweep
+  // is served by a single symbolic analysis.
+  EXPECT_EQ(ws.stats().symbolic_builds, 1u);
+  EXPECT_GT(ws.stats().symbolic_reuse, 0u);
+  EXPECT_EQ(ws.stats().dense_fallbacks, 0u);
+}
+
+// --- zero allocations in the warm Newton loop -------------------------
+
+// Separate suite name: the sanitizer CI job runs the SparseEngine suite
+// but skips these — allocation counts under ASan/TSan interceptors are
+// not meaningful.
+TEST(NewtonAllocation, WarmNewtonSolveIsAllocationFree) {
+  ScopedTuning guard;
+  solver_tuning().force_sparse = true;
+  util::Pcg32 rng(11);
+  const Netlist nl = make_random_mos(rng, 4);
+  SolverWorkspace ws;
+
+  StampContext ctx;
+  ctx.nl = &nl;
+  std::vector<double> x(nl.unknown_count(), 0.0);
+  std::vector<double> x_new;
+
+  // Warm-up: builds the pattern, symbolic LU, linear base, and buffers.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ws.solve_newton_system(ctx, x, x_new));
+
+  const long before = g_alloc_count.load();
+  for (int i = 0; i < 50; ++i) {
+    if (!ws.solve_newton_system(ctx, x, x_new)) {
+      ASSERT_TRUE(false) << "solve failed on warm iteration " << i;
+    }
+    // Nudge the iterate so the nonlinear restamp sees fresh voltages.
+    for (std::size_t k = 0; k + 1 < x.size(); ++k) x[k] = 0.9 * x[k] + 0.1 * x_new[k];
+  }
+  const long after = g_alloc_count.load();
+  EXPECT_EQ(after, before) << "warm sparse Newton iterations allocated";
+  EXPECT_EQ(ws.stats().dense_fallbacks, 0u);
+}
+
+TEST(NewtonAllocation, WarmDensePathIsAllocationFreeToo) {
+  ScopedTuning guard;
+  solver_tuning().force_dense = true;
+  util::Pcg32 rng(12);
+  const Netlist nl = make_random_rc(rng, 5);
+  SolverWorkspace ws;
+
+  StampContext ctx;
+  ctx.nl = &nl;
+  std::vector<double> x(nl.unknown_count(), 0.0);
+  std::vector<double> x_new;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ws.solve_newton_system(ctx, x, x_new));
+
+  const long before = g_alloc_count.load();
+  for (int i = 0; i < 50; ++i) {
+    if (!ws.solve_newton_system(ctx, x, x_new)) {
+      ASSERT_TRUE(false) << "solve failed on warm iteration " << i;
+    }
+  }
+  const long after = g_alloc_count.load();
+  EXPECT_EQ(after, before) << "warm dense Newton iterations allocated";
+}
+
+}  // namespace
+}  // namespace lsl::spice
