@@ -10,6 +10,10 @@
 //         --compare-serial  run serial first, then parallel, and verify the
 //                       canonical reports are byte-identical; records the
 //                       measured parallel speedup over the serial run
+//         --no-incremental  disable every incremental-campaign mechanism
+//                       (golden warm starts, low-rank injection, fault
+//                       collapsing, adaptive stage order) — the A/B
+//                       baseline for the incremental engine
 //         --trace <path>    Chrome trace_event JSON of the run (Perfetto)
 //         --metrics <path>  util::Metrics snapshot JSON at exit
 #include <cstdio>
@@ -95,6 +99,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
     if (std::strcmp(argv[i], "--compare-serial") == 0) compare_serial = true;
+    if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      opts.reuse_golden = false;
+      opts.low_rank_injection = false;
+      opts.collapse_faults = false;
+      opts.adaptive_stage_order = false;
+    }
   }
   // Survival defaults for the full sweep: no single fault may stall the
   // campaign for more than a minute. (Note: a finite budget is the one

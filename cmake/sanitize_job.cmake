@@ -30,12 +30,15 @@ if(NOT rc EQUAL 0)
 endif()
 
 # SparseEngine covers the workspace/sparse-LU solve path (including the
-# thread-local workspaces campaign workers share). NewtonAllocation is
+# thread-local workspaces campaign workers share); Smw covers the
+# low-rank Sherman–Morrison–Woodbury fault-injection path, and the
+# Campaign pattern also picks up CampaignIncremental (shared read-only
+# seed bank + collapse memo under threads). NewtonAllocation is
 # deliberately excluded: its global operator-new counters are
 # meaningless under sanitizer allocators.
-message(STATUS "[sanitize_job] running ThreadPool/Campaign/McTrials/SparseEngine tests under ${SANITIZER}")
+message(STATUS "[sanitize_job] running ThreadPool/Campaign/McTrials/SparseEngine/Smw tests under ${SANITIZER}")
 execute_process(
-  COMMAND ctest --test-dir ${BIN_DIR} -R "ThreadPool|Campaign|McTrials|SparseEngine"
+  COMMAND ctest --test-dir ${BIN_DIR} -R "ThreadPool|Campaign|McTrials|SparseEngine|Smw"
           --output-on-failure
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

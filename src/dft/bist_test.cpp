@@ -24,11 +24,16 @@ const std::array<double, 3>& cp_bist_vc_levels() {
 
 bool read_cp_bist_bits(const cells::LinkFrontend& fe_in, double vc, bool& hi, bool& lo,
                        const spice::DcOptions& solve, spice::SolveStatus* status,
-                       long* iterations) {
+                       long* iterations, const spice::SolveHints* hints) {
   cells::LinkFrontend fe = fe_in;
   auto& nl = fe.netlist();
   nl.add("bist.clamp_vc", spice::VSource{fe.cp_ports().vc, spice::kGround, vc});
-  const auto r = fe.solve(solve);
+  spice::DcOptions opts = solve;
+  if (hints != nullptr) opts.overlay = hints->overlay;
+  const std::string seed_key = "bist.vc." + std::to_string(vc);
+  spice::arm_warm_start(hints, seed_key, nl);
+  const auto r = fe.solve(opts);
+  if (r.converged) spice::capture_seed(hints, seed_key, nl, r.x);
   if (status) *status = r.status;
   if (iterations) *iterations += r.iterations;
   if (!r.converged) return false;
@@ -45,12 +50,15 @@ namespace {
 bool read_all_bist_bits(const cells::LinkFrontend& fe,
                         std::array<std::pair<bool, bool>, 3>& bits,
                         const spice::DcOptions& solve = {},
-                        spice::SolveStatus* status = nullptr, long* iterations = nullptr) {
+                        spice::SolveStatus* status = nullptr, long* iterations = nullptr,
+                        const spice::SolveHints* hints = nullptr) {
   const auto& levels = cp_bist_vc_levels();
   for (std::size_t i = 0; i < levels.size(); ++i) {
     bool hi = false;
     bool lo = false;
-    if (!read_cp_bist_bits(fe, levels[i], hi, lo, solve, status, iterations)) return false;
+    if (!read_cp_bist_bits(fe, levels[i], hi, lo, solve, status, iterations, hints)) {
+      return false;
+    }
     bits[i] = {hi, lo};
   }
   return true;
@@ -59,12 +67,13 @@ bool read_all_bist_bits(const cells::LinkFrontend& fe,
 }  // namespace
 
 BistTestReference bist_test_reference(const cells::LinkFrontend& golden,
-                                      const lsl::link::LinkParams& base) {
+                                      const lsl::link::LinkParams& base,
+                                      const spice::SolveHints* hints) {
   BistTestReference ref;
-  ref.golden = fault::measure_frontend(golden);
+  ref.golden = fault::measure_frontend(golden, {}, hints);
   ref.base = with_preload(base);
   if (!ref.golden.converged) return ref;
-  if (!read_all_bist_bits(golden, ref.bist_bits)) return ref;
+  if (!read_all_bist_bits(golden, ref.bist_bits, {}, nullptr, nullptr, hints)) return ref;
   lsl::link::Link link(ref.base);
   ref.verdict = link.run_bist(kBistSeed);
   ref.valid = ref.verdict.pass();
@@ -72,9 +81,9 @@ BistTestReference bist_test_reference(const cells::LinkFrontend& golden,
 }
 
 BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref,
-                              const spice::DcOptions& solve) {
+                              const spice::DcOptions& solve, const spice::SolveHints* hints) {
   BistTestOutcome out;
-  const fault::FrontendMeasurements m = fault::measure_frontend(fe, solve);
+  const fault::FrontendMeasurements m = fault::measure_frontend(fe, solve, hints);
   out.iterations += m.iterations;
   const fault::BehavioralSignature sig = fault::derive_signature(ref.golden, m);
   if (!sig.characterized) {
@@ -95,7 +104,7 @@ BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestRefer
   // several locked Vc levels on the faulted netlist.
   std::array<std::pair<bool, bool>, 3> bits{};
   spice::SolveStatus st = spice::SolveStatus::kConverged;
-  if (!read_all_bist_bits(fe, bits, solve, &st, &out.iterations)) {
+  if (!read_all_bist_bits(fe, bits, solve, &st, &out.iterations, hints)) {
     out.anomalous = true;
     out.status = st;
   } else if (bits != ref.bist_bits) {

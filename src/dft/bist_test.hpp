@@ -46,19 +46,25 @@ const std::array<double, 3>& cp_bist_vc_levels();
 /// Reads the CP-BIST comparator decisions with Vc clamped at `vc`.
 /// Returns false on non-convergence; `status`/`iterations` (when
 /// non-null) receive the solver status and Newton iteration count.
+/// `hints` (optional): golden warm-start seeds / seed capture and the
+/// fault's low-rank overlay, keyed "bist.vc.<vc>"; decisions are
+/// identical with or without it.
 bool read_cp_bist_bits(const cells::LinkFrontend& fe, double vc, bool& hi, bool& lo,
                        const spice::DcOptions& solve = {},
-                       spice::SolveStatus* status = nullptr, long* iterations = nullptr);
+                       spice::SolveStatus* status = nullptr, long* iterations = nullptr,
+                       const spice::SolveHints* hints = nullptr);
 
 /// Captures the golden measurements and verifies the healthy BIST
 /// passes. The BIST scan-preloads a far-off coarse phase so acquisition
 /// is genuinely exercised.
 BistTestReference bist_test_reference(const cells::LinkFrontend& golden,
-                                      const lsl::link::LinkParams& base = {});
+                                      const lsl::link::LinkParams& base = {},
+                                      const spice::SolveHints* hints = nullptr);
 
 /// Characterizes the faulted frontend and runs the at-speed BIST.
 /// `solve` threads per-fault budgets into the characterization solves.
 BistTestOutcome run_bist_test(const cells::LinkFrontend& fe, const BistTestReference& ref,
-                              const spice::DcOptions& solve = {});
+                              const spice::DcOptions& solve = {},
+                              const spice::SolveHints* hints = nullptr);
 
 }  // namespace lsl::dft

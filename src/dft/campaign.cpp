@@ -1,6 +1,7 @@
 #include "dft/campaign.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -9,6 +10,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "dft/dictionary.hpp"
+#include "spice/seed.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -73,6 +76,7 @@ struct StageResults {
   bool budget_blown = false;
   spice::SolveStatus status = spice::SolveStatus::kConverged;
   long iterations = 0;
+  unsigned stages_run = 0;
 };
 
 /// Folds a stage's failure status into the running worst (first failure
@@ -83,10 +87,38 @@ void note_status(StageResults& r, bool anomalous, spice::SolveStatus st) {
   if (r.status == spice::SolveStatus::kConverged) r.status = st;
 }
 
+/// Stage identifiers in canonical order (the default execution order and
+/// the tie-break order for adaptive reordering).
+enum StageId { kStageDc = 0, kStageScan = 1, kStageBist = 2 };
+using StageOrder = std::array<StageId, 3>;
+
+constexpr StageOrder kCanonicalOrder = {kStageDc, kStageScan, kStageBist};
+
+/// Stage order for one fault class: stages sorted by expected
+/// detections per unit cost, descending; exact ties keep canonical
+/// order. Pure function of (priors, class) — no runtime feedback — so
+/// every thread, resume, and re-run orders identically.
+StageOrder stage_order_for(const StagePriors& priors, FaultClass cls) {
+  StagePriors::Rates rates;
+  if (const auto it = priors.rates.find(cls); it != priors.rates.end()) rates = it->second;
+  const std::array<double, 3> score = {
+      rates.dc / (priors.cost_dc > 0.0 ? priors.cost_dc : 1.0),
+      rates.scan / (priors.cost_scan > 0.0 ? priors.cost_scan : 1.0),
+      rates.bist / (priors.cost_bist > 0.0 ? priors.cost_bist : 1.0),
+  };
+  StageOrder order = kCanonicalOrder;
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](StageId a, StageId b) { return score[a] > score[b]; });
+  return order;
+}
+
 StageResults run_stages(const cells::LinkFrontend& faulty_closed,
                         const cells::LinkFrontend& faulty, const DcTestReference& dc_ref,
                         const ScanTestReference& scan_ref, const BistTestReference& bist_ref,
-                        const CampaignOptions& opts, Clock::time_point start) {
+                        const CampaignOptions& opts, Clock::time_point start,
+                        const StageOrder& order, bool short_circuit,
+                        const spice::SolveHints* hints_closed,
+                        const spice::SolveHints* hints_open) {
   StageResults r;
 
   // Remaining wall clock for this fault; every solve inside a stage gets
@@ -104,40 +136,59 @@ StageResults run_stages(const cells::LinkFrontend& faulty_closed,
            r.iterations <= opts.budget.max_newton_per_fault;
   };
 
-  double left = 0.0;
-  if (!remaining(left)) {
-    r.budget_blown = true;
-    return r;
-  }
+  static util::Counter& stage_skips = util::metrics().counter("campaign.stage_skips");
+
   spice::DcOptions solve;
-  solve.timeout_sec = left;
-  const DcTestOutcome dc = run_dc_test(faulty_closed, dc_ref, solve);
-  r.dc = dc.detected;
-  r.iterations += dc.iterations;
-  note_status(r, dc.anomalous, dc.status);
-
-  if (!remaining(left) || !iter_budget_ok()) {
-    r.budget_blown = true;
-    return r;
-  }
-  solve.timeout_sec = left;
-  ToggleOptions toggle = opts.toggle;
-  toggle.timeout_sec = left;
-  const ScanTestOutcome scan = run_scan_test(faulty, scan_ref, toggle, solve);
-  r.scan = scan.detected;
-  r.iterations += scan.iterations;
-  note_status(r, scan.anomalous, scan.status);
-
-  if (opts.with_bist) {
+  double left = 0.0;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const StageId stage = order[pos];
+    if (stage == kStageBist && !opts.with_bist) continue;
     if (!remaining(left) || !iter_budget_ok()) {
       r.budget_blown = true;
       return r;
     }
     solve.timeout_sec = left;
-    const BistTestOutcome bist = run_bist_test(faulty, bist_ref, solve);
-    r.bist = bist.detected;
-    r.iterations += bist.iterations;
-    note_status(r, bist.anomalous, bist.status);
+    switch (stage) {
+      case kStageDc: {
+        const DcTestOutcome dc = run_dc_test(faulty_closed, dc_ref, solve, hints_closed);
+        r.dc = dc.detected;
+        r.iterations += dc.iterations;
+        note_status(r, dc.anomalous, dc.status);
+        r.stages_run |= kStageBitDc;
+        break;
+      }
+      case kStageScan: {
+        ToggleOptions toggle = opts.toggle;
+        toggle.timeout_sec = left;
+        const ScanTestOutcome scan = run_scan_test(faulty, scan_ref, toggle, solve, hints_open);
+        r.scan = scan.detected;
+        r.iterations += scan.iterations;
+        note_status(r, scan.anomalous, scan.status);
+        r.stages_run |= kStageBitScan;
+        break;
+      }
+      case kStageBist: {
+        const BistTestOutcome bist = run_bist_test(faulty, bist_ref, solve, hints_open);
+        r.bist = bist.detected;
+        r.iterations += bist.iterations;
+        note_status(r, bist.anomalous, bist.status);
+        r.stages_run |= kStageBitBist;
+        break;
+      }
+    }
+    // A detection in hand makes every remaining stage redundant for the
+    // verdict: detected_any() already wins classification regardless of
+    // what they would report, so skipping them cannot move the fault
+    // between partitions (DESIGN.md).
+    if (short_circuit && (r.dc || r.scan || r.bist)) {
+      std::int64_t skipped = 0;
+      for (std::size_t rest = pos + 1; rest < order.size(); ++rest) {
+        if (order[rest] == kStageBist && !opts.with_bist) continue;
+        ++skipped;
+      }
+      if (skipped > 0) stage_skips.add(skipped);
+      break;
+    }
   }
   if (!iter_budget_ok()) r.budget_blown = true;
   return r;
@@ -182,6 +233,10 @@ std::string outcome_to_json(const FaultOutcome& o) {
   j.set("budget_blown", o.budget_blown);
   j.set("elapsed_sec", o.elapsed_sec);
   j.set("newton_iterations", static_cast<std::int64_t>(o.newton_iterations));
+  j.set("stages_run", static_cast<std::size_t>(o.stages_run));
+  // Only present for folded class members: keeps the line (and the
+  // canonical JSONL) identical to a collapsing-off run everywhere else.
+  if (o.collapsed_into.has_value()) j.set("collapsed_into", *o.collapsed_into);
   return j.str();
 }
 
@@ -206,6 +261,12 @@ bool outcome_from_json(const std::string& line, FaultOutcome& o) {
   if (!spice::solve_status_from_string(status, o.status)) return false;
   o.elapsed_sec = elapsed;
   o.newton_iterations = static_cast<long>(iters);
+  // Optional fields (absent from pre-incremental checkpoints): keep the
+  // defaults when missing so old checkpoint files still resume.
+  std::size_t stages = 0;
+  if (j.get_uint("stages_run", stages)) o.stages_run = static_cast<unsigned>(stages);
+  std::size_t rep = 0;
+  if (j.get_uint("collapsed_into", rep)) o.collapsed_into = rep;
   return true;
 }
 
@@ -246,6 +307,11 @@ struct FaultSimContext {
   const ScanTestReference* scan_ref = nullptr;
   const BistTestReference* bist_ref = nullptr;
   const CampaignOptions* opts = nullptr;
+  /// Golden warm-start seeds, immutable and shared read-only across
+  /// every worker (null when reuse_golden is off).
+  const spice::SeedBank* seeds = nullptr;
+  /// Per-class stage execution order (null => canonical for all).
+  const std::map<FaultClass, StageOrder>* stage_order = nullptr;
 };
 
 /// Simulates one fault through all enabled stages. Deterministic given
@@ -262,6 +328,18 @@ FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f
   span.arg("worker", static_cast<double>(worker));
   const Clock::time_point fault_start = Clock::now();
 
+  StageOrder order = kCanonicalOrder;
+  if (ctx.stage_order != nullptr) {
+    if (const auto it = ctx.stage_order->find(f.cls); it != ctx.stage_order->end()) {
+      order = it->second;
+    }
+  }
+  // Pessimistic gate opens AND their detection bits across the two leak
+  // variants: a per-variant short-circuit could zero a bit the other
+  // variant needs, flipping the AND — so they always run every stage.
+  const bool short_circuit = opts.adaptive_stage_order &&
+                             !(f.needs_leak_variants() && opts.pessimistic_gate_opens);
+
   const auto run_variant = [&](OpenLeak leak) {
     cells::LinkFrontend faulty = *ctx.golden;
     cells::LinkFrontend faulty_closed = *ctx.golden_closed;
@@ -270,8 +348,22 @@ FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f
       util::log_error("campaign: failed to inject " + f.describe());
       return StageResults{};
     }
+    // Low-rank overlays live on this frame; the hints only carry
+    // pointers, and every solve they reach completes inside run_stages.
+    std::optional<spice::LowRankOverlay> ov_open;
+    std::optional<spice::LowRankOverlay> ov_closed;
+    if (opts.low_rank_injection) {
+      ov_open = fault::low_rank_overlay(faulty.netlist(), f);
+      ov_closed = fault::low_rank_overlay(faulty_closed.netlist(), f);
+    }
+    spice::SolveHints hints_open;
+    hints_open.seeds = ctx.seeds;
+    hints_open.overlay = ov_open.has_value() ? &*ov_open : nullptr;
+    spice::SolveHints hints_closed;
+    hints_closed.seeds = ctx.seeds;
+    hints_closed.overlay = ov_closed.has_value() ? &*ov_closed : nullptr;
     return run_stages(faulty_closed, faulty, *ctx.dc_ref, *ctx.scan_ref, *ctx.bist_ref, opts,
-                      fault_start);
+                      fault_start, order, short_circuit, &hints_closed, &hints_open);
   };
 
   // Survival guarantee: nothing a single fault does — divergence,
@@ -289,6 +381,7 @@ FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f
       outcome.budget_blown = a.budget_blown || b.budget_blown;
       outcome.status = a.anomalous ? a.status : b.status;
       outcome.newton_iterations = a.iterations + b.iterations;
+      outcome.stages_run = a.stages_run | b.stages_run;
     } else {
       // Gate opens leak toward the device bulk; other opens have no
       // leak dependence (the argument is ignored).
@@ -302,6 +395,7 @@ FaultOutcome simulate_fault(const FaultSimContext& ctx, const StructuralFault& f
       outcome.budget_blown = r.budget_blown;
       outcome.status = r.status;
       outcome.newton_iterations = r.iterations;
+      outcome.stages_run = r.stages_run;
     }
   } catch (const std::exception& e) {
     util::log_error("campaign: exception on " + f.describe() + ": " + e.what());
@@ -342,7 +436,160 @@ void checkpointed_append(const std::string& path, const FaultOutcome& outcome) {
   }
 }
 
+// --- Structural fault collapsing --------------------------------------
+
+/// Memoized result of one equivalence class's simulation. The mutex is
+/// held for the duration of the representative simulation: a second
+/// member of the same class arriving on another worker blocks until the
+/// result is in, then copies it. Members of different classes never
+/// contend.
+struct GroupSlot {
+  std::mutex mu;
+  bool done = false;
+  FaultOutcome result;  // fault/index/collapsed_into are per-member
+};
+
+/// The collapsing plan: for each fault, the index of its class
+/// representative (== the fault itself for singletons) and, for
+/// multi-member classes, a shared memo slot.
+struct CollapsePlan {
+  std::vector<std::size_t> rep;              // rep[i] == i => not folded
+  std::vector<GroupSlot*> slot;              // null for singletons
+  std::vector<std::unique_ptr<GroupSlot>> slots;
+  std::size_t classes = 0;                   // multi-member classes
+  std::size_t folded = 0;                    // members beyond the reps
+};
+
+/// Intersects the equivalence partitions of the open- and closed-loop
+/// golden frontends: two faults may only collapse when they are
+/// equivalent in BOTH netlists (the DC test runs on the closed-loop
+/// wiring, where e.g. the coarse-loop switches connect different node
+/// pairs). Membership proofs for every multi-member class are logged.
+CollapsePlan build_collapse_plan(const cells::LinkFrontend& golden,
+                                 const cells::LinkFrontend& golden_closed,
+                                 const std::vector<StructuralFault>& faults) {
+  CollapsePlan plan;
+  plan.rep.resize(faults.size());
+  plan.slot.resize(faults.size(), nullptr);
+  for (std::size_t i = 0; i < faults.size(); ++i) plan.rep[i] = i;
+
+  const auto open_groups = fault::collapse_equivalences(golden.netlist(), faults);
+  const auto closed_groups = fault::collapse_equivalences(golden_closed.netlist(), faults);
+  std::vector<std::size_t> open_gid(faults.size(), 0);
+  std::vector<std::size_t> closed_gid(faults.size(), 0);
+  for (std::size_t g = 0; g < open_groups.size(); ++g) {
+    for (const std::size_t m : open_groups[g].members) open_gid[m] = g;
+  }
+  for (std::size_t g = 0; g < closed_groups.size(); ++g) {
+    for (const std::size_t m : closed_groups[g].members) closed_gid[m] = g;
+  }
+
+  // Intersection: members sharing BOTH group ids form the final class.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>> final_groups;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    final_groups[{open_gid[i], closed_gid[i]}].push_back(i);
+  }
+  for (const auto& [key, members] : final_groups) {
+    if (members.size() < 2) continue;
+    const std::size_t rep = members.front();  // ascending => lowest index
+    auto slot = std::make_unique<GroupSlot>();
+    for (const std::size_t m : members) {
+      plan.rep[m] = rep;
+      plan.slot[m] = slot.get();
+    }
+    plan.slots.push_back(std::move(slot));
+    ++plan.classes;
+    plan.folded += members.size() - 1;
+    // Log the membership proof (the open-loop group's argument; the
+    // closed-loop partition only ever splits classes, never adds).
+    const auto& proof = open_groups[key.first].proof;
+    util::log_info("campaign: collapsed " + std::to_string(members.size()) +
+                   " faults into #" + std::to_string(rep) +
+                   (proof.empty() ? "" : " [" + proof + "]"));
+  }
+
+  auto& m = util::metrics();
+  m.counter("campaign.collapse.classes").add(static_cast<std::int64_t>(plan.classes));
+  m.counter("campaign.collapse.faults_folded").add(static_cast<std::int64_t>(plan.folded));
+  if (plan.classes > 0) {
+    util::log_info("campaign: fault collapsing folded " + std::to_string(plan.folded) +
+                   " of " + std::to_string(faults.size()) + " faults into " +
+                   std::to_string(plan.classes) + " class representatives");
+  }
+  return plan;
+}
+
+/// simulate_fault with collapse memoization: the first member of a
+/// multi-member class to arrive simulates it; every other member copies
+/// the bit-identical result (equivalent faulted netlists differ only in
+/// device names, which stamp nothing) and records the representative in
+/// collapsed_into. Per-fault work units (progress, abort polls,
+/// checkpoint lines) are preserved exactly.
+FaultOutcome simulate_with_collapse(const FaultSimContext& ctx, const CollapsePlan* plan,
+                                    const StructuralFault& f, std::size_t index,
+                                    std::size_t worker) {
+  GroupSlot* slot = (plan != nullptr) ? plan->slot[index] : nullptr;
+  if (slot == nullptr) return simulate_fault(ctx, f, index, worker);
+
+  std::lock_guard<std::mutex> lk(slot->mu);
+  if (!slot->done) {
+    slot->result = simulate_fault(ctx, f, index, worker);
+    slot->done = true;
+    FaultOutcome outcome = slot->result;
+    if (plan->rep[index] != index) outcome.collapsed_into = plan->rep[index];
+    return outcome;
+  }
+  const Clock::time_point t0 = Clock::now();
+  FaultOutcome outcome = slot->result;
+  outcome.fault = f;
+  outcome.index = index;
+  if (plan->rep[index] != index) outcome.collapsed_into = plan->rep[index];
+  outcome.elapsed_sec = seconds_since(t0);  // the fold is (nearly) free
+  return outcome;
+}
+
 }  // namespace
+
+StagePriors stage_priors_from_dictionary(const FaultDictionary& dict) {
+  StagePriors priors;
+  const std::string& golden = dict.golden_signature();
+  // Signature layout (dictionary.cpp): DC observables are the first
+  // 2 * LinkObservation::kBitCount = 20 characters, the BIST readout and
+  // verdict flags are the last 6 + 4 = 10, and everything in between is
+  // the scan captures (cp scan + static scan + optional toggle strobes).
+  constexpr std::size_t kDcLen = 20;
+  constexpr std::size_t kBistLen = 10;
+  struct Tally {
+    std::size_t dc_hit = 0, scan_hit = 0, bist_hit = 0, count = 0;
+  };
+  std::map<fault::FaultClass, Tally> tallies;
+  for (const DictionaryEntry& e : dict.entries()) {
+    const std::string& sig = e.signature;
+    if (sig.size() != golden.size() || sig.size() < kDcLen + kBistLen) continue;
+    Tally& t = tallies[e.fault.cls];
+    ++t.count;
+    const auto differs = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (sig[i] != golden[i]) return true;
+      }
+      return false;
+    };
+    if (differs(0, kDcLen)) ++t.dc_hit;
+    if (differs(kDcLen, sig.size() - kBistLen)) ++t.scan_hit;
+    if (differs(sig.size() - kBistLen, sig.size())) ++t.bist_hit;
+  }
+  // Laplace-smoothed detection rates: (hits + 1) / (count + 2) keeps
+  // unseen classes at the uninformative 0.5 and never pins a stage to
+  // exactly 0 or 1 off a small sample.
+  for (const auto& [cls, t] : tallies) {
+    StagePriors::Rates r;
+    r.dc = static_cast<double>(t.dc_hit + 1) / static_cast<double>(t.count + 2);
+    r.scan = static_cast<double>(t.scan_hit + 1) / static_cast<double>(t.count + 2);
+    r.bist = static_cast<double>(t.bist_hit + 1) / static_cast<double>(t.count + 2);
+    priors.rates[cls] = r;
+  }
+  return priors;
+}
 
 CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOptions& opts) {
   CampaignReport report;
@@ -376,16 +623,57 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
   const cells::LinkFrontend golden_closed(closed_spec);
   const auto vdd_closed = *golden_closed.netlist().find_node("vdd");
 
-  const DcTestReference dc_ref = dc_test_reference(golden_closed);
-  ScanTestReference scan_ref = scan_test_reference(golden, opts.with_scan_toggle, opts.toggle);
+  // Golden-state reuse: the reference builders solve every stage
+  // stimulus once on the healthy netlist anyway; capture those converged
+  // solutions into a seed bank so every faulted solve can warm-start
+  // from the matching golden operating point. The bank is written only
+  // here, then frozen behind a const pointer and shared read-only by
+  // every worker (see spice/seed.hpp for the immutability contract).
+  std::shared_ptr<spice::SeedBank> seed_bank;
+  spice::SolveHints capture_hints;
+  const spice::SolveHints* ref_hints = nullptr;
+  if (opts.reuse_golden) {
+    seed_bank = std::make_shared<spice::SeedBank>();
+    capture_hints.capture = seed_bank.get();
+    ref_hints = &capture_hints;
+  }
+
+  const DcTestReference dc_ref = dc_test_reference(golden_closed, ref_hints);
+  ScanTestReference scan_ref =
+      scan_test_reference(golden, opts.with_scan_toggle, opts.toggle, ref_hints);
   BistTestReference bist_ref;
   if (opts.with_bist) {
-    bist_ref = bist_test_reference(golden);
+    bist_ref = bist_test_reference(golden, {}, ref_hints);
     if (!bist_ref.valid) {
       util::log_warn("campaign: golden BIST reference does not pass; BIST detections disabled");
     }
   }
   ref_span.close();
+  // Freeze the bank: from here on only const access, safe to share.
+  const std::shared_ptr<const spice::SeedBank> frozen_seeds = seed_bank;
+  if (frozen_seeds != nullptr) {
+    util::log_info("campaign: golden seed bank holds " + std::to_string(frozen_seeds->size()) +
+                   " operating points");
+  }
+
+  // Adaptive stage ordering: one fixed order per fault class, computed
+  // up front from the priors. Because nothing feeds back at runtime the
+  // schedule is identical across thread counts and resumes.
+  std::map<FaultClass, StageOrder> order_map;
+  if (opts.adaptive_stage_order) {
+    for (const FaultClass cls : fault::kAllFaultClasses) {
+      order_map[cls] = stage_order_for(opts.priors, cls);
+    }
+  }
+
+  // Structural fault collapsing: partition the universe into provable
+  // equivalence classes before any simulation.
+  std::optional<CollapsePlan> collapse_plan;
+  if (opts.collapse_faults) {
+    util::TraceSpan span("campaign.collapse", "campaign");
+    collapse_plan = build_collapse_plan(golden, golden_closed, faults);
+  }
+  const CollapsePlan* plan = collapse_plan.has_value() ? &*collapse_plan : nullptr;
 
   const std::size_t n_threads = util::ThreadPool::resolve_threads(opts.num_threads);
   report.exec.threads_used = n_threads;
@@ -401,6 +689,8 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
     ctx.scan_ref = &scan_ref;
     ctx.bist_ref = &bist_ref;
     ctx.opts = &opts;
+    ctx.seeds = frozen_seeds.get();
+    ctx.stage_order = opts.adaptive_stage_order ? &order_map : nullptr;
 
     std::size_t fresh = 0;
     for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -413,7 +703,7 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
         report.complete = false;
         break;
       }
-      FaultOutcome outcome = simulate_fault(ctx, faults[i], i, 0);
+      FaultOutcome outcome = simulate_with_collapse(ctx, plan, faults[i], i, 0);
       ++fresh;
       report.exec.fault_cpu_sec += outcome.elapsed_sec;
       report.exec.newton_iterations += outcome.newton_iterations;
@@ -450,6 +740,8 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
       ws->ctx.scan_ref = &scan_ref;
       ws->ctx.bist_ref = &bist_ref;
       ws->ctx.opts = &opts;
+      ws->ctx.seeds = frozen_seeds.get();
+      ws->ctx.stage_order = opts.adaptive_stage_order ? &order_map : nullptr;
       workers.push_back(std::move(ws));
     }
 
@@ -475,7 +767,7 @@ CampaignReport run_campaign(const cells::LinkFrontend& golden, const CampaignOpt
           return;
         }
       }
-      FaultOutcome outcome = simulate_fault(ws.ctx, faults[i], i, w);
+      FaultOutcome outcome = simulate_with_collapse(ws.ctx, plan, faults[i], i, w);
       ++ws.fresh;
       ws.cpu_sec += outcome.elapsed_sec;
       ws.newton += outcome.newton_iterations;

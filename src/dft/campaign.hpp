@@ -36,6 +36,8 @@
 
 namespace lsl::dft {
 
+class FaultDictionary;
+
 /// Final classification of one fault's campaign run.
 enum class FaultVerdict { kDetected, kUndetected, kQuarantined };
 
@@ -50,6 +52,48 @@ struct CampaignBudget {
   /// Newton iterations per fault (per leak variant). 0 = unlimited.
   long max_newton_per_fault = 0;
 };
+
+/// Bit positions of FaultOutcome::stages_run: which stages were actually
+/// simulated (as opposed to skipped by a blown budget, a disabled BIST,
+/// or the adaptive short-circuit).
+enum : unsigned {
+  kStageBitDc = 1u,
+  kStageBitScan = 2u,
+  kStageBitBist = 4u,
+};
+
+/// Detection-likelihood / cost model that drives adaptive stage
+/// ordering. For each fault class the three stages are ordered by
+/// expected detections per unit cost (rate / cost, descending; ties
+/// resolve to the canonical DC -> scan -> BIST order), so the stage
+/// most likely to detect cheaply runs first and a detection can
+/// short-circuit the rest. The ordering is decided once per campaign
+/// from these priors — a pure function of the fault class — so it is
+/// identical on every thread and across checkpoint/resume, preserving
+/// the campaign's determinism contract. The default-constructed priors
+/// (all rates equal) therefore reproduce the canonical order exactly.
+struct StagePriors {
+  struct Rates {
+    double dc = 0.5;
+    double scan = 0.5;
+    double bist = 0.5;
+  };
+  /// Per-class detection-rate estimates; classes absent from the map
+  /// use the (uniform) defaults.
+  std::map<fault::FaultClass, Rates> rates;
+  /// Relative stage costs (DC: 2 solves; scan: ~12 solves + a
+  /// transient; BIST: characterization + behavioral run + readout).
+  double cost_dc = 1.0;
+  double cost_scan = 10.0;
+  double cost_bist = 15.0;
+};
+
+/// Seeds StagePriors from a fault dictionary's recorded signatures: the
+/// per-class fraction of faults whose signature differs from the golden
+/// in each stage's region (DC observations / scan captures / BIST
+/// readout+verdict), Laplace-smoothed so tiny dictionaries cannot pin a
+/// rate to 0 or 1.
+StagePriors stage_priors_from_dictionary(const FaultDictionary& dict);
 
 struct CampaignOptions {
   /// Campaign executor width. 1 (default) runs the classic serial loop
@@ -100,6 +144,48 @@ struct CampaignOptions {
   /// stops the campaign (report.complete = false). Combined with
   /// checkpointing this makes campaigns kill-and-resume safe.
   std::function<bool()> abort_check;
+
+  // --- Incremental-engine kill switches (all default ON) ---------------
+  //
+  // Each mechanism is independently disableable and verdict-preserving:
+  // any combination produces the identical detected / undetected /
+  // quarantined partition and identical per-class Table I coverage —
+  // the switches change how fast the campaign runs, never what it
+  // concludes (DESIGN.md, "Why incremental fault simulation preserves
+  // verdicts"). As with thread counts, the guarantee assumes unlimited
+  // wall-clock/iteration budgets: a finite budget can run out at a
+  // different point when the work is ordered differently, which is
+  // inherent to budgets, not to the mechanisms.
+
+  /// Capture the golden operating points once per stage stimulus while
+  /// building the references, share them read-only (immutable SeedBank)
+  /// across workers, and warm-start every faulted solve from the golden
+  /// solution ("golden-warm-start" ladder rung; failures fall through
+  /// to the unchanged cold-start ladder).
+  bool reuse_golden = true;
+  /// Solve short-class faults as rank-1 conductance updates over the
+  /// golden structure via Sherman-Morrison-Woodbury against the cached
+  /// golden factorization (fault::low_rank_overlay). Guarded by the
+  /// same backward-error gate as the sparse engine: a residual reject
+  /// falls back to the exact full-stamp path and is counted in
+  /// campaign.smw.fallbacks.
+  bool low_rank_injection = true;
+  /// Pre-partition the universe into structural equivalence classes
+  /// (fault::collapse_equivalences on BOTH frontends — open and closed
+  /// wiring differ — intersected) and simulate one representative per
+  /// class, fanning the bit-identical outcome out to the members
+  /// (FaultOutcome::collapsed_into names the representative).
+  bool collapse_faults = true;
+  /// Order the DC / scan / BIST stages per fault class by `priors`
+  /// (detections per unit cost) and short-circuit the remaining stages
+  /// once a detection is in hand. Never applied to pessimistic gate
+  /// opens (their detection is an AND across leak variants, which a
+  /// per-variant short-circuit would break).
+  bool adaptive_stage_order = true;
+  /// Stage-ordering priors for adaptive_stage_order; seed from a fault
+  /// dictionary via stage_priors_from_dictionary(), or leave default
+  /// (uniform rates => canonical order, short-circuit still active).
+  StagePriors priors;
 };
 
 struct FaultOutcome {
@@ -116,6 +202,19 @@ struct FaultOutcome {
   double elapsed_sec = 0.0;
   long newton_iterations = 0;
   bool budget_blown = false;
+  /// Bitmask (kStageBitDc | kStageBitScan | kStageBitBist) of stages
+  /// actually simulated. A stage absent from the mask contributes a
+  /// false detection bit — either it was disabled/budget-skipped (as
+  /// before) or the adaptive short-circuit proved it redundant for the
+  /// verdict (a detection was already in hand).
+  unsigned stages_run = 0;
+  /// When structural fault collapsing folded this fault into an
+  /// equivalence class simulated once, the representative's fault
+  /// index. Unset for representatives, singletons, and collapsing-off
+  /// runs; the folded outcome's bits are bit-identical to what a
+  /// dedicated simulation would produce (the member netlists differ
+  /// only in device names, which stamp nothing).
+  std::optional<std::size_t> collapsed_into;
   bool detected_any() const { return dc || scan || bist; }
 };
 

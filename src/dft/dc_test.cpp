@@ -2,13 +2,16 @@
 
 namespace lsl::dft {
 
-DcTestReference dc_test_reference(const cells::LinkFrontend& golden) {
+DcTestReference dc_test_reference(const cells::LinkFrontend& golden,
+                                  const spice::SolveHints* hints) {
   DcTestReference ref;
   cells::LinkFrontend fe = golden;
   fe.set_data(true, true);
   const auto r1 = fe.solve();
+  if (r1.converged) spice::capture_seed(hints, "dc.1", fe.netlist(), r1.x);
   fe.set_data(false, false);
   const auto r0 = fe.solve();
+  if (r0.converged) spice::capture_seed(hints, "dc.0", fe.netlist(), r0.x);
   if (!r1.converged || !r0.converged) return ref;
   ref.obs1 = fe.observe(r1);
   ref.obs0 = fe.observe(r0);
@@ -17,12 +20,15 @@ DcTestReference dc_test_reference(const cells::LinkFrontend& golden) {
 }
 
 DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReference& ref,
-                          const spice::DcOptions& solve) {
+                          const spice::DcOptions& solve, const spice::SolveHints* hints) {
   DcTestOutcome out;
   cells::LinkFrontend fe = fe_in;
+  spice::DcOptions opts = solve;
+  if (hints != nullptr) opts.overlay = hints->overlay;
 
   fe.set_data(true, true);
-  const auto r1 = fe.solve(solve);
+  spice::arm_warm_start(hints, "dc.1", fe.netlist());
+  const auto r1 = fe.solve(opts);
   out.iterations += r1.iterations;
   if (!r1.converged) {
     out.anomalous = true;
@@ -35,7 +41,8 @@ DcTestOutcome run_dc_test(const cells::LinkFrontend& fe_in, const DcTestReferenc
   }
 
   fe.set_data(false, false);
-  const auto r0 = fe.solve(solve);
+  spice::arm_warm_start(hints, "dc.0", fe.netlist());
+  const auto r0 = fe.solve(opts);
   out.iterations += r0.iterations;
   if (!r0.converged) {
     out.anomalous = true;

@@ -11,19 +11,23 @@
 #include <optional>
 
 #include "cells/link_frontend.hpp"
+#include "spice/seed.hpp"
 #include "spice/solve_status.hpp"
 
 namespace lsl::dft {
 
 /// Fault-free reference for the DC test (one solve pass, reused across
-/// the whole campaign).
+/// the whole campaign). `hints` (optional) records the golden operating
+/// points into hints->capture under the "dc.1"/"dc.0" seed keys for the
+/// incremental campaign's warm starts.
 struct DcTestReference {
   cells::LinkObservation obs1;  // data = 1
   cells::LinkObservation obs0;  // data = 0
   bool valid = false;
 };
 
-DcTestReference dc_test_reference(const cells::LinkFrontend& golden);
+DcTestReference dc_test_reference(const cells::LinkFrontend& golden,
+                                  const spice::SolveHints* hints = nullptr);
 
 struct DcTestOutcome {
   /// Genuine signature mismatch against the golden reference.
@@ -39,7 +43,10 @@ struct DcTestOutcome {
 
 /// Runs the two-vector DC test on a (faulted) frontend. `solve` lets
 /// the campaign thread per-fault budgets (timeout) into every solve.
+/// `hints` (optional) supplies golden warm-start seeds and the fault's
+/// low-rank overlay; results are identical with or without it.
 DcTestOutcome run_dc_test(const cells::LinkFrontend& fe, const DcTestReference& ref,
-                          const spice::DcOptions& solve = {});
+                          const spice::DcOptions& solve = {},
+                          const spice::SolveHints* hints = nullptr);
 
 }  // namespace lsl::dft

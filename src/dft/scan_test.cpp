@@ -8,8 +8,11 @@ using cells::LinkFrontend;
 using spice::kGround;
 using spice::VSource;
 
-CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOptions& solve) {
+CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOptions& solve,
+                                  const spice::SolveHints* hints) {
   CpScanSignature sig;
+  spice::DcOptions opts = solve;
+  if (hints != nullptr) opts.overlay = hints->overlay;
   const double th = fe_in.spec().vdd / 2.0;
   struct Combo {
     bool up, dn, upst, dnst;
@@ -36,12 +39,15 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOpti
     const auto hold_node = drive_nl.node("scan.vc_hold");
     drive_nl.add("scan.v_hold", VSource{hold_node, kGround, vc_prev});
     drive_nl.add("scan.r_hold", spice::Resistor{hold_node, fe.cp_ports().vc, 1e9});
-    const auto r_drive = fe.solve(solve);
+    const std::string drive_key = "scan.cp.drive." + std::to_string(i);
+    spice::arm_warm_start(hints, drive_key, drive_nl);
+    const auto r_drive = fe.solve(opts);
     sig.iterations += r_drive.iterations;
     if (!r_drive.converged) {
       sig.status = r_drive.status;
       return sig;  // valid stays false
     }
+    spice::capture_seed(hints, drive_key, drive_nl, r_drive.x);
     const double vc_reached = fe.vc(r_drive);
     vc_prev = vc_reached;
 
@@ -51,12 +57,15 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOpti
     LinkFrontend cap = fe_in;
     cap.set_scan_mode(false);
     cap.netlist().add("scan.clamp_vc", VSource{cap.cp_ports().vc, kGround, vc_reached});
-    const auto r_cap = cap.solve(solve);
+    const std::string cap_key = "scan.cp.cap." + std::to_string(i);
+    spice::arm_warm_start(hints, cap_key, cap.netlist());
+    const auto r_cap = cap.solve(opts);
     sig.iterations += r_cap.iterations;
     if (!r_cap.converged) {
       sig.status = r_cap.status;
       return sig;
     }
+    spice::capture_seed(hints, cap_key, cap.netlist(), r_cap.x);
     sig.window[i] = {r_cap.v(cap.netlist(), cap.cp_ports().cmp_hi) > th,
                      r_cap.v(cap.netlist(), cap.cp_ports().cmp_lo) > th};
   }
@@ -65,32 +74,40 @@ CpScanSignature cp_scan_signature(const LinkFrontend& fe_in, const spice::DcOpti
 }
 
 ScanStaticSignature scan_static_signature(const LinkFrontend& fe_in,
-                                          const spice::DcOptions& solve) {
+                                          const spice::DcOptions& solve,
+                                          const spice::SolveHints* hints) {
   ScanStaticSignature sig;
+  spice::DcOptions opts = solve;
+  if (hints != nullptr) opts.overlay = hints->overlay;
   LinkFrontend fe = fe_in;
   fe.set_scan_mode(true);
   fe.set_data(true, true);
-  const auto r1 = fe.solve(solve);
+  spice::arm_warm_start(hints, "scan.static.1", fe.netlist());
+  const auto r1 = fe.solve(opts);
   sig.iterations += r1.iterations;
   if (!r1.converged) {
     sig.status = r1.status;
     return sig;
   }
+  spice::capture_seed(hints, "scan.static.1", fe.netlist(), r1.x);
   sig.obs1 = fe.observe(r1);
   fe.set_data(false, false);
-  const auto r0 = fe.solve(solve);
+  spice::arm_warm_start(hints, "scan.static.0", fe.netlist());
+  const auto r0 = fe.solve(opts);
   sig.iterations += r0.iterations;
   if (!r0.converged) {
     sig.status = r0.status;
     return sig;
   }
+  spice::capture_seed(hints, "scan.static.0", fe.netlist(), r0.x);
   sig.obs0 = fe.observe(r0);
   sig.valid = true;
   return sig;
 }
 
 ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions& opts,
-                                 const spice::DcOptions& solve) {
+                                 const spice::DcOptions& solve,
+                                 const spice::SolveHints* hints) {
   ToggleSignature sig;
   LinkFrontend fe = fe_in;
   fe.set_scan_mode(true);
@@ -116,9 +133,13 @@ ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions&
   topts.t_stop = opts.cycles * opts.scan_period;
   topts.dt = opts.dt;
   topts.newton = solve;
+  if (hints != nullptr) topts.newton.overlay = hints->overlay;
   topts.timeout_sec = opts.timeout_sec;
   topts.probes = {nl.node_name(fe.term_ports().cmp_p_hi), nl.node_name(fe.term_ports().cmp_p_lo),
                   nl.node_name(fe.term_ports().cmp_n_hi), nl.node_name(fe.term_ports().cmp_n_lo)};
+  // The transient's t=0 operating point is scan mode with data low —
+  // the same state the "scan.static.0" golden seed captured.
+  spice::arm_warm_start(hints, "scan.static.0", nl);
   const auto res = spice::run_transient(nl, drives, topts);
   sig.iterations += res.newton_iterations;
   if (!res.ok) {
@@ -144,20 +165,22 @@ ToggleSignature toggle_signature(const LinkFrontend& fe_in, const ToggleOptions&
 }
 
 ScanTestReference scan_test_reference(const LinkFrontend& golden, bool with_toggle,
-                                      const ToggleOptions& topts) {
+                                      const ToggleOptions& topts,
+                                      const spice::SolveHints* hints) {
   ScanTestReference ref;
-  ref.cp = cp_scan_signature(golden);
-  ref.stat = scan_static_signature(golden);
+  ref.cp = cp_scan_signature(golden, {}, hints);
+  ref.stat = scan_static_signature(golden, {}, hints);
   ref.with_toggle = with_toggle;
-  if (with_toggle) ref.toggle = toggle_signature(golden, topts);
+  if (with_toggle) ref.toggle = toggle_signature(golden, topts, {}, hints);
   return ref;
 }
 
 ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& ref,
-                              const ToggleOptions& topts, const spice::DcOptions& solve) {
+                              const ToggleOptions& topts, const spice::DcOptions& solve,
+                              const spice::SolveHints* hints) {
   ScanTestOutcome out;
 
-  const CpScanSignature cp = cp_scan_signature(fe, solve);
+  const CpScanSignature cp = cp_scan_signature(fe, solve, hints);
   out.iterations += cp.iterations;
   if (!cp.valid) {
     out.anomalous = true;
@@ -169,7 +192,7 @@ ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& r
     return out;
   }
 
-  const ScanStaticSignature stat = scan_static_signature(fe, solve);
+  const ScanStaticSignature stat = scan_static_signature(fe, solve, hints);
   out.iterations += stat.iterations;
   if (!stat.valid) {
     out.anomalous = true;
@@ -182,7 +205,7 @@ ScanTestOutcome run_scan_test(const LinkFrontend& fe, const ScanTestReference& r
   }
 
   if (ref.with_toggle) {
-    const ToggleSignature tog = toggle_signature(fe, topts, solve);
+    const ToggleSignature tog = toggle_signature(fe, topts, solve, hints);
     out.iterations += tog.iterations;
     if (!tog.valid) {
       out.anomalous = true;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cells/link_frontend.hpp"
+#include "spice/seed.hpp"
 #include "spice/solve_status.hpp"
 
 namespace lsl::dft {
@@ -44,8 +45,14 @@ struct CpScanSignature {
   bool operator==(const CpScanSignature& o) const { return window == o.window; }
 };
 
+/// `hints` (here and below, optional): golden warm-start seeds, seed
+/// capture for golden reference runs, and the fault's low-rank overlay.
+/// Results are identical with or without it — the hints only change how
+/// the same solves are carried out (see spice/seed.hpp). Seed keys:
+/// "scan.cp.drive.<i>" / "scan.cp.cap.<i>" per pump combo.
 CpScanSignature cp_scan_signature(const cells::LinkFrontend& fe,
-                                  const spice::DcOptions& solve = {});
+                                  const spice::DcOptions& solve = {},
+                                  const spice::SolveHints* hints = nullptr);
 
 /// Static scan-mode observations for both data vectors.
 struct ScanStaticSignature {
@@ -61,8 +68,10 @@ struct ScanStaticSignature {
   }
 };
 
+/// Seed keys: "scan.static.1" / "scan.static.0".
 ScanStaticSignature scan_static_signature(const cells::LinkFrontend& fe,
-                                          const spice::DcOptions& solve = {});
+                                          const spice::DcOptions& solve = {},
+                                          const spice::SolveHints* hints = nullptr);
 
 /// Comparator decisions sampled at the scan clock during the toggling
 /// pattern (100 MHz data through the link).
@@ -89,8 +98,13 @@ struct ToggleOptions {
   double timeout_sec = 0.0;
 };
 
+/// Warm-starts the transient's t=0 operating point from the
+/// "scan.static.0" seed (scan mode, data low — the toggle's initial
+/// state); the per-step path needs no seeding, each step starts from
+/// the previous one.
 ToggleSignature toggle_signature(const cells::LinkFrontend& fe, const ToggleOptions& opts = {},
-                                 const spice::DcOptions& solve = {});
+                                 const spice::DcOptions& solve = {},
+                                 const spice::SolveHints* hints = nullptr);
 
 struct ScanTestOutcome {
   /// Genuine signature mismatch against the golden reference.
@@ -110,13 +124,15 @@ struct ScanTestReference {
 };
 
 ScanTestReference scan_test_reference(const cells::LinkFrontend& golden, bool with_toggle = true,
-                                      const ToggleOptions& topts = {});
+                                      const ToggleOptions& topts = {},
+                                      const spice::SolveHints* hints = nullptr);
 
 /// Full scan test of a (faulted) frontend against the reference.
 /// `solve` threads per-fault budgets into every DC solve and the
 /// transient's per-step Newton.
 ScanTestOutcome run_scan_test(const cells::LinkFrontend& fe, const ScanTestReference& ref,
                               const ToggleOptions& topts = {},
-                              const spice::DcOptions& solve = {});
+                              const spice::DcOptions& solve = {},
+                              const spice::SolveHints* hints = nullptr);
 
 }  // namespace lsl::dft

@@ -22,21 +22,30 @@ struct ClampedSolve {
 };
 
 ClampedSolve solve_with_vc_clamp(LinkFrontend fe, double vc_value,
-                                 const spice::DcOptions& solve) {
+                                 const spice::DcOptions& solve,
+                                 const spice::SolveHints* hints = nullptr,
+                                 const char* seed_key = nullptr) {
   auto& nl = fe.netlist();
   nl.add("char.clamp_vc", VSource{fe.cp_ports().vc, kGround, vc_value});
   ClampedSolve out;
+  if (seed_key != nullptr) spice::arm_warm_start(hints, seed_key, nl);
   out.r = fe.solve(solve);
   out.converged = out.r.converged;
-  if (out.converged) out.i_clamp = out.r.i(nl, "char.clamp_vc");
+  if (out.converged) {
+    if (seed_key != nullptr) spice::capture_seed(hints, seed_key, nl, out.r.x);
+    out.i_clamp = out.r.i(nl, "char.clamp_vc");
+  }
   return out;
 }
 
 }  // namespace
 
 FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
-                                      const spice::DcOptions& solve) {
+                                      const spice::DcOptions& solve_in,
+                                      const spice::SolveHints* hints) {
   FrontendMeasurements m;
+  spice::DcOptions solve = solve_in;
+  if (hints != nullptr) solve.overlay = hints->overlay;
   const double vmid_window = 0.6;
   const double th = fe_in.spec().vdd / 2.0;
 
@@ -50,9 +59,13 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
   {
     LinkFrontend fe = fe_in;
     fe.set_data(true, true);
+    spice::arm_warm_start(hints, "char.line.1", fe.netlist());
     const DcResult r1 = fe.solve(solve);
+    if (r1.converged) spice::capture_seed(hints, "char.line.1", fe.netlist(), r1.x);
     fe.set_data(false, false);
+    spice::arm_warm_start(hints, "char.line.0", fe.netlist());
     const DcResult r0 = fe.solve(solve);
+    if (r0.converged) spice::capture_seed(hints, "char.line.0", fe.netlist(), r0.x);
     m.iterations += r1.iterations + r0.iterations;
     if (!r1.converged || !r0.converged) {
       fail(!r1.converged ? r1.status : r0.status);
@@ -67,15 +80,18 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
   {
     LinkFrontend fe = fe_in;
     fe.set_pump(true, false);
-    const ClampedSolve up = solve_with_vc_clamp(fe, vmid_window, solve);
+    const ClampedSolve up = solve_with_vc_clamp(fe, vmid_window, solve, hints, "char.pump.up");
     fe.set_pump(false, true);
-    const ClampedSolve dn = solve_with_vc_clamp(fe, vmid_window, solve);
+    const ClampedSolve dn = solve_with_vc_clamp(fe, vmid_window, solve, hints, "char.pump.dn");
     fe.set_pump(false, false);
-    const ClampedSolve idle = solve_with_vc_clamp(fe, vmid_window, solve);
+    const ClampedSolve idle =
+        solve_with_vc_clamp(fe, vmid_window, solve, hints, "char.pump.idle");
     fe.set_strong_pump(true, false);
-    const ClampedSolve upst = solve_with_vc_clamp(fe, vmid_window, solve);
+    const ClampedSolve upst =
+        solve_with_vc_clamp(fe, vmid_window, solve, hints, "char.pump.upst");
     fe.set_strong_pump(false, true);
-    const ClampedSolve dnst = solve_with_vc_clamp(fe, vmid_window, solve);
+    const ClampedSolve dnst =
+        solve_with_vc_clamp(fe, vmid_window, solve, hints, "char.pump.dnst");
     m.iterations += up.r.iterations + dn.r.iterations + idle.r.iterations +
                     upst.r.iterations + dnst.r.iterations;
     for (const ClampedSolve* s : {&up, &dn, &idle, &upst, &dnst}) {
@@ -96,8 +112,8 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
   // --- window comparator decisions at forced Vc -------------------------
   {
     LinkFrontend fe = fe_in;
-    const auto obs_at = [&](double vc) {
-      const ClampedSolve s = solve_with_vc_clamp(fe, vc, solve);
+    const auto obs_at = [&](double vc, const char* seed_key) {
+      const ClampedSolve s = solve_with_vc_clamp(fe, vc, solve, hints, seed_key);
       m.iterations += s.r.iterations;
       struct {
         bool ok, hi, lo;
@@ -109,9 +125,9 @@ FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe_in,
       }
       return o;
     };
-    const auto high = obs_at(1.05);  // above VH = 0.8
-    const auto mid = obs_at(0.6);
-    const auto low = obs_at(0.15);   // below VL = 0.4
+    const auto high = obs_at(1.05, "char.win.high");  // above VH = 0.8
+    const auto mid = obs_at(0.6, "char.win.mid");
+    const auto low = obs_at(0.15, "char.win.low");    // below VL = 0.4
     if (!high.ok || !mid.ok || !low.ok) {
       fail(!high.ok ? high.st : (!mid.ok ? mid.st : low.st));
       return m;

@@ -16,6 +16,7 @@
 #include "behav/synchronizer.hpp"
 #include "cells/link_frontend.hpp"
 #include "link/link.hpp"
+#include "spice/seed.hpp"
 #include "spice/solve_status.hpp"
 
 namespace lsl::fault {
@@ -43,8 +44,13 @@ struct FrontendMeasurements {
 
 /// Measures a frontend (golden or faulted). `solve` threads per-fault
 /// budgets (timeout, fallback policy) into every measurement solve.
+/// `hints` (optional) supplies golden warm-start seeds / seed capture
+/// and the fault's low-rank overlay (seed keys "char.line.*",
+/// "char.pump.*", "char.win.*"); measurement values are identical with
+/// or without it.
 FrontendMeasurements measure_frontend(const cells::LinkFrontend& fe,
-                                      const spice::DcOptions& solve = {});
+                                      const spice::DcOptions& solve = {},
+                                      const spice::SolveHints* hints = nullptr);
 
 /// Behavioral parameter overrides derived from faulty-vs-golden
 /// measurements.

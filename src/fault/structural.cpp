@@ -1,6 +1,9 @@
 #include "fault/structural.hpp"
 
+#include <algorithm>
 #include <array>
+#include <map>
+#include <utility>
 
 namespace lsl::fault {
 
@@ -43,6 +46,21 @@ bool has_prefix(const std::string& name, const std::vector<std::string>& prefixe
   return false;
 }
 
+// Records the voltage-unknown indices of `nodes` (in the *current*,
+// post-injection netlist) into the spec's touched list: deduplicated,
+// ascending, ground excluded. See InjectionSpec::touched_unknowns().
+void record_touched(const Netlist& nl, const InjectionSpec& spec,
+                    std::initializer_list<NodeId> nodes) {
+  auto& touched = spec.touched_unknowns();
+  nl.reindex();
+  for (const NodeId n : nodes) {
+    if (n == kGround) continue;
+    touched.push_back(nl.voltage_index(n));
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+}
+
 }  // namespace
 
 const std::vector<std::string>& test_circuitry_prefixes() {
@@ -78,6 +96,7 @@ std::vector<StructuralFault> enumerate_structural_faults(
 
 bool inject(Netlist& nl, const StructuralFault& fault, OpenLeak leak, NodeId vdd_node,
             const InjectionSpec& spec) {
+  spec.touched_unknowns().clear();
   const auto di = nl.find_device(fault.device);
   if (!di.has_value()) return false;
   auto& dev = nl.device(*di);
@@ -85,7 +104,10 @@ bool inject(Netlist& nl, const StructuralFault& fault, OpenLeak leak, NodeId vdd
   if (fault.cls == FaultClass::kCapacitorShort) {
     const auto* cap = std::get_if<Capacitor>(&dev.impl);
     if (cap == nullptr) return false;
-    nl.add("flt." + fault.device + ".short", Resistor{cap->a, cap->b, spec.r_short});
+    const NodeId a = cap->a;
+    const NodeId b = cap->b;
+    nl.add("flt." + fault.device + ".short", Resistor{a, b, spec.r_short});
+    record_touched(nl, spec, {a, b});
     return true;
   }
 
@@ -102,6 +124,10 @@ bool inject(Netlist& nl, const StructuralFault& fault, OpenLeak leak, NodeId vdd
     return dangling;
   };
 
+  const NodeId g = mos->g;
+  const NodeId d = mos->d;
+  const NodeId s = mos->s;
+
   switch (fault.cls) {
     case FaultClass::kGateOpen: {
       // A floating gate's level is set by junction leakage toward a rail
@@ -109,22 +135,30 @@ bool inject(Netlist& nl, const StructuralFault& fault, OpenLeak leak, NodeId vdd
       const NodeId dangling = open_terminal(mos->g, "g");
       const NodeId rail = (leak == OpenLeak::kToVdd) ? vdd_node : kGround;
       nl.add("flt." + fault.device + ".g.leak", Resistor{dangling, rail, spec.r_leak});
+      record_touched(nl, spec, {g, dangling, rail, d, s});
       return true;
     }
-    case FaultClass::kDrainOpen:
-      open_terminal(mos->d, "d");
+    case FaultClass::kDrainOpen: {
+      const NodeId dangling = open_terminal(mos->d, "d");
+      record_touched(nl, spec, {d, dangling, g, s});
       return true;
-    case FaultClass::kSourceOpen:
-      open_terminal(mos->s, "s");
+    }
+    case FaultClass::kSourceOpen: {
+      const NodeId dangling = open_terminal(mos->s, "s");
+      record_touched(nl, spec, {s, dangling, g, d});
       return true;
+    }
     case FaultClass::kGateDrainShort:
-      nl.add("flt." + fault.device + ".gd", Resistor{mos->g, mos->d, spec.r_short});
+      nl.add("flt." + fault.device + ".gd", Resistor{g, d, spec.r_short});
+      record_touched(nl, spec, {g, d});
       return true;
     case FaultClass::kGateSourceShort:
-      nl.add("flt." + fault.device + ".gs", Resistor{mos->g, mos->s, spec.r_short});
+      nl.add("flt." + fault.device + ".gs", Resistor{g, s, spec.r_short});
+      record_touched(nl, spec, {g, s});
       return true;
     case FaultClass::kDrainSourceShort:
-      nl.add("flt." + fault.device + ".ds", Resistor{mos->d, mos->s, spec.r_short});
+      nl.add("flt." + fault.device + ".ds", Resistor{d, s, spec.r_short});
+      record_touched(nl, spec, {d, s});
       return true;
     case FaultClass::kCapacitorShort:
       break;  // handled above
@@ -148,6 +182,120 @@ std::size_t count_class(const std::vector<StructuralFault>& faults, FaultClass c
     if (f.cls == c) ++n;
   }
   return n;
+}
+
+namespace {
+
+// The injected-device name suffix for a short-class fault, or nullptr
+// for the open classes (which are not expressible as rank-k updates).
+const char* short_suffix(FaultClass c) {
+  switch (c) {
+    case FaultClass::kCapacitorShort: return ".short";
+    case FaultClass::kGateDrainShort: return ".gd";
+    case FaultClass::kGateSourceShort: return ".gs";
+    case FaultClass::kDrainSourceShort: return ".ds";
+    default: return nullptr;
+  }
+}
+
+// The unordered node pair a short-class fault would bridge in golden
+// netlist `nl`, or nullopt for opens / missing / wrong-kind devices.
+std::optional<std::pair<NodeId, NodeId>> short_bridge(const Netlist& nl,
+                                                      const StructuralFault& fault) {
+  const auto di = nl.find_device(fault.device);
+  if (!di.has_value()) return std::nullopt;
+  const auto& dev = nl.devices()[*di];
+  NodeId a = kGround;
+  NodeId b = kGround;
+  if (fault.cls == FaultClass::kCapacitorShort) {
+    const auto* cap = std::get_if<Capacitor>(&dev.impl);
+    if (cap == nullptr) return std::nullopt;
+    a = cap->a;
+    b = cap->b;
+  } else {
+    const auto* mos = std::get_if<Mosfet>(&dev.impl);
+    if (mos == nullptr) return std::nullopt;
+    switch (fault.cls) {
+      case FaultClass::kGateDrainShort: a = mos->g; b = mos->d; break;
+      case FaultClass::kGateSourceShort: a = mos->g; b = mos->s; break;
+      case FaultClass::kDrainSourceShort: a = mos->d; b = mos->s; break;
+      default: return std::nullopt;
+    }
+  }
+  if (a > b) std::swap(a, b);
+  return std::make_pair(a, b);
+}
+
+}  // namespace
+
+std::optional<spice::LowRankOverlay> low_rank_overlay(const Netlist& nl,
+                                                      const StructuralFault& fault) {
+  const char* suffix = short_suffix(fault.cls);
+  if (suffix == nullptr) return std::nullopt;
+  const auto di = nl.find_device("flt." + fault.device + suffix);
+  if (!di.has_value()) return std::nullopt;
+  const auto& dev = nl.devices()[*di];
+  if (!dev.enabled) return std::nullopt;
+  const auto* r = std::get_if<Resistor>(&dev.impl);
+  if (r == nullptr || !(r->ohms > 0.0)) return std::nullopt;
+
+  nl.reindex();
+  spice::LowRankOverlay ov;
+  ov.skip_devices.push_back(*di);
+  if (r->a != r->b) {
+    spice::LowRankOverlay::Term t;
+    t.a = (r->a == kGround) ? -1
+                            : static_cast<std::ptrdiff_t>(nl.voltage_index(r->a));
+    t.b = (r->b == kGround) ? -1
+                            : static_cast<std::ptrdiff_t>(nl.voltage_index(r->b));
+    t.g = 1.0 / r->ohms;
+    ov.terms.push_back(t);
+  }
+  return ov;
+}
+
+std::vector<FaultGroup> collapse_equivalences(const Netlist& nl,
+                                              const std::vector<StructuralFault>& faults,
+                                              const InjectionSpec& spec) {
+  // Key = the unordered bridged node pair. spec.r_short is shared by
+  // every short in one campaign, so within a single call the pair alone
+  // decides equivalence; it is named in the proof for the log.
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::size_t>> by_bridge;
+  std::vector<FaultGroup> out;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto bridge = short_bridge(nl, faults[i]);
+    if (!bridge.has_value()) {
+      // Opens (fresh dangling node each) and unresolvable faults never
+      // collapse: singleton class, no proof needed.
+      FaultGroup g;
+      g.representative = i;
+      g.members = {i};
+      out.push_back(std::move(g));
+      continue;
+    }
+    by_bridge[*bridge].push_back(i);
+  }
+  for (auto& [bridge, members] : by_bridge) {
+    FaultGroup g;
+    g.representative = members.front();  // insertion order is ascending
+    g.members = std::move(members);
+    if (g.members.size() > 1) {
+      std::string proof = "bridge " + nl.node_name(bridge.first) + "-" +
+                          nl.node_name(bridge.second) + " @ r_short=" +
+                          std::to_string(spec.r_short) + ": ";
+      for (std::size_t j = 0; j < g.members.size(); ++j) {
+        if (j != 0) proof += ", ";
+        proof += faults[g.members[j]].describe();
+      }
+      proof += " stamp identical conductance between the same node pair";
+      g.proof = std::move(proof);
+    }
+    out.push_back(std::move(g));
+  }
+  std::sort(out.begin(), out.end(), [](const FaultGroup& a, const FaultGroup& b) {
+    return a.representative < b.representative;
+  });
+  return out;
 }
 
 }  // namespace lsl::fault

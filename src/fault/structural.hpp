@@ -17,10 +17,12 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "spice/netlist.hpp"
+#include "spice/stamp.hpp"
 
 namespace lsl::fault {
 
@@ -61,6 +63,20 @@ struct StructuralFault {
 struct InjectionSpec {
   double r_short = 1.0;    // bridge resistance for shorts
   double r_leak = 100e9;   // floating-gate leak to the chosen rail
+
+  /// Filled by inject() (cleared first): the MNA voltage-unknown
+  /// indices — in the *injected* netlist's ordering — of every node
+  /// whose matrix row or column the fault edit adds, removes, or
+  /// modifies. Shorts touch the two bridged nodes; opens touch the
+  /// severed node, the fresh dangling node, and the device terminals
+  /// whose Jacobian columns moved. Deduplicated, ascending, ground
+  /// excluded. Sized k ≤ 4 for shorts — the basis of the low-rank
+  /// (Sherman–Morrison–Woodbury) solve path; opens change the unknown
+  /// *count* and are therefore never low-rank-expressible.
+  std::vector<std::size_t>& touched_unknowns() const { return touched_; }
+
+ private:
+  mutable std::vector<std::size_t> touched_;
 };
 
 /// Physics-based leak direction for a floating gate: junction leakage
@@ -92,5 +108,38 @@ bool inject(spice::Netlist& nl, const StructuralFault& fault, OpenLeak leak,
 
 /// Counts faults per class (for reporting).
 std::size_t count_class(const std::vector<StructuralFault>& faults, FaultClass c);
+
+/// Low-rank description of `fault` as already injected into `nl` (i.e.
+/// call inject() first, then this on the faulted netlist): the injected
+/// bridge resistor as a rank-1 conductance update over the golden
+/// structure, suitable for the workspace's Sherman–Morrison–Woodbury
+/// path. Only shorts qualify — opens add unknowns (dimension change)
+/// and gate opens additionally rewire a terminal, so they return
+/// nullopt and take the ordinary full-stamp path. A short between two
+/// aliases of the same node degenerates to a rank-0 overlay (skip the
+/// device, no terms), which is still exact.
+std::optional<spice::LowRankOverlay> low_rank_overlay(const spice::Netlist& nl,
+                                                      const StructuralFault& fault);
+
+/// One structural-equivalence class of the fault universe: every member
+/// fault produces a netlist identical to the representative's up to
+/// device *names* (which stamp nothing), so one simulation decides the
+/// whole class. `proof` states the membership argument for the log.
+struct FaultGroup {
+  std::size_t representative = 0;      // lowest member index
+  std::vector<std::size_t> members;    // ascending fault indices, incl. representative
+  std::string proof;                   // why the members are equivalent (multi-member only)
+};
+
+/// Partitions `faults` (indices into the vector) into structural
+/// equivalence classes against golden netlist `nl`: two shorts collapse
+/// when they bridge the same unordered node pair with the same
+/// `spec.r_short` — e.g. the gate-source short of M1 and the
+/// drain-source short of a diode-tied M2 sharing both nodes. Opens
+/// never collapse (each creates its own fresh node). Returns the full
+/// partition — singletons included — ordered by representative index.
+std::vector<FaultGroup> collapse_equivalences(const spice::Netlist& nl,
+                                              const std::vector<StructuralFault>& faults,
+                                              const InjectionSpec& spec = {});
 
 }  // namespace lsl::fault

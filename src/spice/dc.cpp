@@ -64,6 +64,7 @@ SolveStatus newton_loop(const Netlist& nl, double gmin, double source_scale,
   ctx.nl = &nl;
   ctx.gmin = gmin;
   ctx.source_scale = source_scale;
+  ctx.overlay = opts.overlay;
 
   const std::size_t n = nl.unknown_count();
   if (x.size() != n) x.assign(n, 0.0);
@@ -129,9 +130,18 @@ SolveStatus newton_loop(const Netlist& nl, double gmin, double source_scale,
 }
 
 /// gmin continuation: solve a heavily leaky circuit, then tighten.
+/// `warm` (optional) seeds the first continuation level — the campaign's
+/// golden operating point is usually far closer to the faulted solution
+/// than the flat start, and every level still converges to the same
+/// per-level tolerance, so the seed changes cost, not meaning.
 SolveStatus gmin_stepping(const Netlist& nl, const DcOptions& opts, const Deadline& deadline,
-                          SolverWorkspace& ws, std::vector<double>& x, SolveDiagnostics& diag) {
-  x.assign(nl.unknown_count(), 0.0);
+                          SolverWorkspace& ws, std::vector<double>& x, SolveDiagnostics& diag,
+                          const std::vector<double>* warm = nullptr) {
+  if (warm != nullptr && warm->size() == nl.unknown_count()) {
+    x = *warm;
+  } else {
+    x.assign(nl.unknown_count(), 0.0);
+  }
   SolveStatus st = SolveStatus::kConverged;
   for (double gmin = opts.gmin_start; gmin >= opts.gmin_final * 0.99; gmin *= 0.1) {
     st = newton_loop(nl, gmin, 1.0, opts, deadline, ws, x, diag);
@@ -163,12 +173,16 @@ namespace {
 util::Counter& rung_counter(const char* rung) {
   auto& m = util::metrics();
   static util::Counter& newton = m.counter("solver.dc.rung.newton");
+  static util::Counter& warm_start = m.counter("solver.dc.rung.golden-warm-start");
+  static util::Counter& golden_gmin = m.counter("solver.dc.rung.golden-gmin");
   static util::Counter& gmin_step = m.counter("solver.dc.rung.gmin-step");
   static util::Counter& source_step = m.counter("solver.dc.rung.source-step");
   static util::Counter& heavy_damping = m.counter("solver.dc.rung.heavy-damping");
   static util::Counter& relaxed_tol = m.counter("solver.dc.rung.relaxed-tol");
   static util::Counter& exhausted = m.counter("solver.dc.rung.exhausted");
   if (std::strcmp(rung, "newton") == 0) return newton;
+  if (std::strcmp(rung, "golden-warm-start") == 0) return warm_start;
+  if (std::strcmp(rung, "golden-gmin") == 0) return golden_gmin;
   if (std::strcmp(rung, "gmin-step") == 0) return gmin_step;
   if (std::strcmp(rung, "source-step") == 0) return source_step;
   if (std::strcmp(rung, "heavy-damping") == 0) return heavy_damping;
@@ -198,6 +212,8 @@ void record_dc_metrics(const DcResult& result, const char* rung,
   static util::Counter& dense_solves = m.counter("solver.dc.dense_solves");
   static util::Counter& dense_fallbacks = m.counter("solver.dc.dense_fallbacks");
   static util::Counter& refinement_steps = m.counter("solver.dc.refinement_steps");
+  static util::Counter& smw_solves = m.counter("campaign.smw.solves");
+  static util::Counter& smw_fallbacks = m.counter("campaign.smw.fallbacks");
   solves.add(1);
   if (!result.converged) failures.add(1);
   iterations.add(result.diag.iterations);
@@ -213,6 +229,8 @@ void record_dc_metrics(const DcResult& result, const char* rung,
   dense_solves.add(ws_after.dense_solves - ws_before.dense_solves);
   dense_fallbacks.add(ws_after.dense_fallbacks - ws_before.dense_fallbacks);
   refinement_steps.add(ws_after.refinement_steps - ws_before.refinement_steps);
+  smw_solves.add(ws_after.smw_solves - ws_before.smw_solves);
+  smw_fallbacks.add(ws_after.smw_fallbacks - ws_before.smw_fallbacks);
   if (util::Metrics::detailed_timing()) {
     static util::MetricHistogram& stamp = m.histogram("solver.dc.stamp_seconds");
     static util::MetricHistogram& factor = m.histogram("solver.dc.factor_seconds");
@@ -233,6 +251,13 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts, SolverWorkspace& ws)
   const auto start = Clock::now();
   const Deadline deadline = Deadline::from_timeout(opts.timeout_sec, start);
   const SolverWorkspace::Stats ws_before = ws.stats();
+
+  // A pending golden seed is taken — and thereby cleared — from the
+  // workspace unconditionally, so a stale seed can never leak into a
+  // later, unrelated solve on this workspace.
+  std::vector<double> seed;
+  const bool have_seed = ws.take_pending_seed(seed);
+  ws.reset_smw_suppression();
 
   DcResult result;
   result.x = opts.initial_guess;
@@ -255,6 +280,35 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts, SolverWorkspace& ws)
     return result;
   };
 
+  // Rung 0a — golden warm start (campaign): plain Newton from the
+  // shared golden operating point. Only runs when the caller supplied
+  // no explicit guess; on failure it falls through to the unchanged
+  // ladder, so the rung can only add an attempt, never remove one.
+  bool seed_usable = false;
+  if (have_seed && result.x.empty()) {
+    auto& m = util::metrics();
+    static util::Counter& warm_hits = m.counter("campaign.warm_start.hits");
+    static util::Counter& warm_rejects = m.counter("campaign.warm_start.rejects");
+    if (seed.size() == nl.unknown_count()) {
+      seed_usable = true;
+      util::TraceSpan span("dc.rung.golden-warm-start", "solver");
+      result.x = seed;  // keep the seed: the golden-gmin rung reuses it
+      const SolveStatus st =
+          newton_loop(nl, opts.gmin_final, 1.0, opts, deadline, ws, result.x, result.diag);
+      if (st == SolveStatus::kConverged) {
+        warm_hits.add(1);
+        return finish(st, 0, "golden-warm-start");
+      }
+      if (st == SolveStatus::kTimeout) return finish(st, 0, "golden-warm-start");
+      warm_rejects.add(1);
+      result.x.clear();  // deeper rungs restart from zero, as before
+    } else {
+      // Seed built for a different structure (e.g. an open fault added
+      // unknowns the golden solution cannot know about).
+      warm_rejects.add(1);
+    }
+  }
+
   // Rung 0 — plain Newton from the supplied guess: cheap and usually
   // enough when warm-starting sweeps.
   if (!result.x.empty()) {
@@ -265,8 +319,21 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opts, SolverWorkspace& ws)
     if (st == SolveStatus::kTimeout) return finish(st, 0, "newton");
   }
 
-  // Rung 1 — gmin stepping.
+  // Rung 1a — gmin stepping from the golden operating point. A fault
+  // whose plain warm start diverges usually still sits much closer to
+  // the golden solution than to zero; continuation from the seed cuts
+  // the ladder's dominant cost. A failure falls through to the flat
+  // start, so the rung can only add an attempt.
   SolveStatus st;
+  if (seed_usable) {
+    util::TraceSpan span("dc.rung.golden-gmin", "solver");
+    st = gmin_stepping(nl, opts, deadline, ws, result.x, result.diag, &seed);
+    if (st == SolveStatus::kConverged || st == SolveStatus::kTimeout) {
+      return finish(st, 1, "golden-gmin");
+    }
+  }
+
+  // Rung 1 — gmin stepping.
   {
     util::TraceSpan span("dc.rung.gmin-step", "solver");
     st = gmin_stepping(nl, opts, deadline, ws, result.x, result.diag);

@@ -16,6 +16,7 @@
 namespace lsl::spice {
 
 class SolverWorkspace;
+struct LowRankOverlay;
 
 struct DcOptions {
   int max_iterations = 200;
@@ -37,6 +38,13 @@ struct DcOptions {
   double timeout_sec = 0.0;
   /// Optional initial guess for the MNA vector (e.g. previous solve).
   std::vector<double> initial_guess;
+  /// Optional low-rank fault edit (see spice/stamp.hpp): the solve
+  /// treats the listed devices as a rank-k update over the base
+  /// structure and uses the Sherman–Morrison–Woodbury path where it
+  /// passes the backward-error gate. Results are identical with or
+  /// without it — the overlay only redirects *how* the same system is
+  /// solved. The pointee must outlive the solve.
+  const LowRankOverlay* overlay = nullptr;
 };
 
 struct DcResult {
@@ -62,6 +70,12 @@ struct DcResult {
 /// Solver state (sparsity pattern, symbolic LU, linear stamp base,
 /// iteration buffers) lives in `ws` and is reused across calls; the
 /// default is the calling thread's workspace (SolverWorkspace::tls()).
+/// A pending seed parked on `ws` via SolverWorkspace::seed_from() is
+/// consumed (and always cleared) by the solve: when no explicit
+/// initial_guess is given and the seed's size matches, it runs as an
+/// extra first ladder rung ("golden-warm-start") ahead of the normal
+/// ladder; a failed warm start falls through to the unchanged ladder,
+/// so the rung can only add an attempt, never remove one.
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts, SolverWorkspace& ws);
 DcResult solve_dc(const Netlist& nl, const DcOptions& opts = {});
 

@@ -1,0 +1,71 @@
+#include "spice/seed.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "spice/workspace.hpp"
+
+namespace lsl::spice {
+
+SolutionSeed SolutionSeed::capture(const Netlist& nl, const std::vector<double>& x) {
+  SolutionSeed seed;
+  nl.reindex();
+  if (x.size() != nl.unknown_count()) return seed;
+  for (NodeId node = 1; node < nl.node_count(); ++node) {
+    seed.node_v_.emplace(nl.node_name(node), x[nl.voltage_index(node)]);
+  }
+  const auto& devices = nl.devices();
+  for (std::size_t di = 0; di < devices.size(); ++di) {
+    const Device& dev = devices[di];
+    if (!dev.enabled) continue;
+    if (std::holds_alternative<VSource>(dev.impl) || std::holds_alternative<Vcvs>(dev.impl)) {
+      seed.branch_i_.emplace(dev.name, x[nl.branch_index(di)]);
+    }
+  }
+  return seed;
+}
+
+std::vector<double> SolutionSeed::initial_guess_for(const Netlist& target) const {
+  target.reindex();
+  std::vector<double> x(target.unknown_count(), 0.0);
+  for (NodeId node = 1; node < target.node_count(); ++node) {
+    const auto it = node_v_.find(target.node_name(node));
+    if (it != node_v_.end()) x[target.voltage_index(node)] = it->second;
+  }
+  const auto& devices = target.devices();
+  for (std::size_t di = 0; di < devices.size(); ++di) {
+    const Device& dev = devices[di];
+    if (!dev.enabled) continue;
+    if (std::holds_alternative<VSource>(dev.impl) || std::holds_alternative<Vcvs>(dev.impl)) {
+      const auto it = branch_i_.find(dev.name);
+      if (it != branch_i_.end()) x[target.branch_index(di)] = it->second;
+    }
+  }
+  return x;
+}
+
+void SeedBank::put(const std::string& key, SolutionSeed seed) {
+  seeds_[key] = std::move(seed);
+}
+
+const SolutionSeed* SeedBank::find(const std::string& key) const {
+  const auto it = seeds_.find(key);
+  return it == seeds_.end() ? nullptr : &it->second;
+}
+
+void arm_warm_start(const SolveHints* hints, const std::string& key, const Netlist& target) {
+  if (hints == nullptr || hints->seeds == nullptr) return;
+  const SolutionSeed* seed = hints->seeds->find(key);
+  if (seed == nullptr || seed->empty()) return;
+  SolverWorkspace::tls().seed_from(seed->initial_guess_for(target));
+}
+
+void capture_seed(const SolveHints* hints, const std::string& key, const Netlist& nl,
+                  const std::vector<double>& x) {
+  if (hints == nullptr || hints->capture == nullptr) return;
+  SolutionSeed seed = SolutionSeed::capture(nl, x);
+  if (seed.empty()) return;
+  hints->capture->put(key, std::move(seed));
+}
+
+}  // namespace lsl::spice

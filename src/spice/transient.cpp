@@ -284,6 +284,10 @@ TransientResult run_transient(const Netlist& nl,
   const auto n_steps = static_cast<std::size_t>(std::ceil(opts.t_stop / opts.dt));
   const double dt_floor = opts.dt / static_cast<double>(1 << std::max(opts.max_step_halvings, 0));
   std::vector<double> x_try;
+  // Predictor state: the solution one accepted sub-step back and that
+  // step's size, for the linear extrapolation of the next initial guess.
+  std::vector<double> x_prev_accept;
+  double prev_accept_dt = 0.0;
   // Per-step distributions. Newton-per-step costs nothing extra (the
   // count is already in hand); per-step wall time needs clock reads and
   // is gated with the rest of the detailed timing.
@@ -302,6 +306,14 @@ TransientResult run_transient(const Netlist& nl,
       set_overrides(t_next);
       ctx.dt = sub_dt;
       x_try = x;
+      if (opts.predictor && prev_accept_dt > 0.0 && x_prev_accept.size() == x.size()) {
+        // First-order extrapolation through the last two accepted
+        // points, scaled for the (possibly halved) current step size.
+        const double a = sub_dt / prev_accept_dt;
+        for (std::size_t i = 0; i < x_try.size(); ++i) {
+          x_try[i] = x[i] + a * (x[i] - x_prev_accept[i]);
+        }
+      }
       SolveDiagnostics step_diag;
       const Clock::time_point step_t0 = detailed ? Clock::now() : Clock::time_point{};
       const SolveStatus st = step_newton(nl, ctx, opts.newton, ws, x_try, step_diag);
@@ -311,6 +323,8 @@ TransientResult run_transient(const Netlist& nl,
       newton_per_step.observe(static_cast<double>(step_diag.iterations));
       result.newton_iterations += step_diag.iterations;
       if (st == SolveStatus::kConverged) {
+        prev_accept_dt = sub_dt;
+        std::swap(x_prev_accept, x);  // keep the outgoing point for the predictor
         x = std::move(x_try);
         // Residual and current history both need the PRE-step voltages
         // still in prev_node_v, so they run before capture_node_v.

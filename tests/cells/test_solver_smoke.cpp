@@ -43,5 +43,35 @@ TEST(SolverSmoke, WarmDcSweepReusesSymbolicAnalysisWithoutFallbacks) {
   EXPECT_EQ(m.counter("solver.dc.dense_fallbacks").value(), fallbacks_before);
 }
 
+TEST(SolverSmoke, GoldenWarmStartPathIsSmwFree) {
+  // The campaign's fault-free warm path: re-solving the golden netlist
+  // from its own converged solution. No overlay is in play, so the SMW
+  // machinery must stay completely out of the way — zero SMW solves and
+  // zero SMW fallbacks — while the warm-start rung lands first try.
+  LinkFrontend fe;
+  spice::SolverWorkspace ws;
+  const auto cold = spice::solve_dc(fe.netlist(), {}, ws);
+  ASSERT_TRUE(cold.converged);
+
+  auto& m = util::metrics();
+  const auto hits_before = m.counter("campaign.warm_start.hits").value();
+  const auto rejects_before = m.counter("campaign.warm_start.rejects").value();
+
+  ws.seed_from(cold.x);
+  const auto warm = spice::solve_dc(fe.netlist(), {}, ws);
+  ASSERT_TRUE(warm.converged);
+
+  EXPECT_EQ(ws.stats().smw_solves, 0u);
+  EXPECT_EQ(ws.stats().smw_fallbacks, 0u);
+  EXPECT_EQ(m.counter("campaign.warm_start.hits").value(), hits_before + 1);
+  EXPECT_EQ(m.counter("campaign.warm_start.rejects").value(), rejects_before);
+  // Warm-starting from the answer costs (far) fewer iterations.
+  EXPECT_LT(warm.iterations, cold.iterations);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < cold.x.size(); ++i) {
+    EXPECT_NEAR(warm.x[i], cold.x[i], 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace lsl::cells

@@ -40,6 +40,10 @@ TEST(Integration, ScanBistSetsIntersectWithoutContainment) {
   TestableLink link;
   dft::CampaignOptions opts;
   opts.prefixes = {"cp.m_s"};  // sources, switches, steering, scan switches
+  // This test measures what each stage *would* detect, so every stage
+  // must actually run: disable the detection short-circuit (which only
+  // preserves verdicts and cumulative coverage, not per-stage sets).
+  opts.adaptive_stage_order = false;
   const auto report = link.run_fault_campaign(opts);
   std::size_t scan_only = 0;
   std::size_t bist_only = 0;
